@@ -1,0 +1,126 @@
+// Ablation studies for the design choices DESIGN.md calls out:
+//  A1. parallel-children variant of Algorithm 1 (Lemma 3.7): extra centers
+//      bought for shallower recursion;
+//  A2. fixpoint rounds of the §5.3 category-2 generalization: how far past
+//      the paper's single pass convergence actually goes;
+//  A3. k mischoice sensitivity: total cost of build + Q queries when k is
+//      set to sqrt(omega)/2, sqrt(omega), 2*sqrt(omega);
+//  A4. write-efficient filter vs naive flag-and-copy compaction.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "biconn/biconn_oracle.hpp"
+#include "connectivity/cc_oracle.hpp"
+#include "decomp/implicit_decomp.hpp"
+#include "graph/generators.hpp"
+#include "parallel/scan.hpp"
+
+namespace {
+
+using namespace wecc;
+using Decomp = decomp::ImplicitDecomposition<graph::Graph>;
+
+void BM_Ablation_ParallelChildren(benchmark::State& state) {
+  const bool par = state.range(0) != 0;
+  const graph::Graph g = graph::gen::grid2d(80, 80, true);
+  decomp::DecompOptions opt;
+  opt.k = 16;
+  opt.seed = 7;
+  opt.parallel_children = par;
+  amem::Stats cost;
+  std::size_t centers = 0;
+  for (auto _ : state) {
+    cost = benchutil::measure(
+        [&] { centers = Decomp::build(g, opt).center_list().size(); });
+  }
+  benchutil::report(state, cost, 256);
+  state.counters["centers"] = double(centers);
+  state.counters["parallel_children"] = par;
+}
+BENCHMARK(BM_Ablation_ParallelChildren)->Arg(0)->Arg(1);
+
+void BM_Ablation_FixpointRounds(benchmark::State& state) {
+  // Nested-cycle family designed to need propagation: chained cycles whose
+  // outer cycle revisits clusters.
+  graph::Graph base = graph::gen::cactus_chain(8, 8);
+  graph::EdgeList e = base.edge_list();
+  e.push_back({0, graph::vertex_id(base.num_vertices() - 1)});  // outer loop
+  const graph::Graph g = graph::Graph::from_edges(base.num_vertices(), e);
+  biconn::BiconnOracleOptions opt;
+  opt.k = std::size_t(state.range(0));
+  std::size_t rb = 0, rt = 0;
+  amem::Stats cost;
+  for (auto _ : state) {
+    cost = benchutil::measure([&] {
+      const auto o =
+          biconn::BiconnectivityOracle<graph::Graph>::build(g, opt);
+      rb = o.fixpoint_rounds_bc();
+      rt = o.fixpoint_rounds_tecc();
+    });
+  }
+  benchutil::report(state, cost, opt.k * opt.k);
+  state.counters["rounds_bc"] = double(rb);
+  state.counters["rounds_tecc"] = double(rt);
+}
+BENCHMARK(BM_Ablation_FixpointRounds)->Arg(3)->Arg(6)->Arg(12);
+
+void BM_Ablation_KMischoice(benchmark::State& state) {
+  // Total cost of one build plus Q queries at omega = 256 for varying k;
+  // k = sqrt(omega) = 16 should minimize total work.
+  constexpr std::uint64_t omega = 256;
+  constexpr std::size_t Q = 2000;
+  const std::size_t k = std::size_t(state.range(0));
+  const graph::Graph g = graph::gen::grid2d(100, 100, true);
+  connectivity::CcOracleOptions opt;
+  opt.k = k;
+  amem::Stats cost;
+  for (auto _ : state) {
+    cost = benchutil::measure([&] {
+      const auto o =
+          connectivity::ConnectivityOracle<graph::Graph>::build(g, opt);
+      for (graph::vertex_id v = 0; v < Q; ++v) {
+        benchmark::DoNotOptimize(o.connected(
+            v, graph::vertex_id((v * 7919) % g.num_vertices())));
+      }
+    });
+  }
+  benchutil::report(state, cost, omega);
+  state.counters["k"] = double(k);
+  state.counters["sqrt_omega"] = std::sqrt(double(omega));
+}
+BENCHMARK(BM_Ablation_KMischoice)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_Ablation_FilterVsNaive(benchmark::State& state) {
+  // The write-efficient filter of [9] vs writing a flag per candidate.
+  const bool naive = state.range(0) != 0;
+  constexpr std::size_t n = 1 << 20;
+  amem::Stats cost;
+  for (auto _ : state) {
+    cost = benchutil::measure([&] {
+      if (naive) {
+        amem::asym_array<std::uint8_t> flags(n);
+        amem::asym_array<std::uint32_t> out;
+        for (std::size_t i = 0; i < n; ++i) {
+          flags.write(i, (i % 97) == 0);
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          if (flags.read(i)) out.push_back(std::uint32_t(i));
+        }
+      } else {
+        amem::asym_array<std::uint32_t> out;
+        parallel::filter<std::uint32_t>(
+            0, n, [](std::size_t i) { return (i % 97) == 0; },
+            [](std::size_t i) { return std::uint32_t(i); }, out);
+      }
+    });
+  }
+  benchutil::report(state, cost, 64);
+  state.counters["naive"] = naive;
+}
+BENCHMARK(BM_Ablation_FilterVsNaive)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

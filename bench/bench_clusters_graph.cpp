@@ -1,0 +1,46 @@
+// Experiments L4.3 + L5.4 + L5.6: implicit clusters-graph neighbor listing
+// costs O(k^2) reads and no writes (Lemma 4.3); local-graph construction is
+// O(k^2) (Lemma 5.4); root-biconnectivity precomputation totals O(nk)
+// operations and O(n/k) writes (Lemma 5.6, measured inside the §5.3 build
+// via the bench in bench_table1_biconnectivity — here we isolate listing).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "decomp/clusters_graph.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace wecc;
+using Decomp = decomp::ImplicitDecomposition<graph::Graph>;
+
+void BM_ClustersGraphNeighborListing(benchmark::State& state) {
+  const std::size_t k = std::size_t(state.range(0));
+  const graph::Graph g = graph::gen::grid2d(90, 90, true);
+  decomp::DecompOptions opt;
+  opt.k = k;
+  opt.seed = 13;
+  const auto d = Decomp::build(g, opt);
+  const decomp::ClustersGraph<graph::Graph> cg(d);
+  std::size_t ci = 0;
+  amem::reset();
+  std::uint64_t q = 0, edges = 0;
+  for (auto _ : state) {
+    cg.for_neighbors(graph::vertex_id(ci),
+                     [&](graph::vertex_id) { ++edges; });
+    ci = (ci + 1) % cg.num_vertices();
+    ++q;
+  }
+  const auto s = amem::snapshot();
+  state.counters["k"] = double(k);
+  state.counters["reads_per_listing"] = double(s.reads) / double(q);
+  state.counters["reads_per_k2"] =
+      double(s.reads) / double(q) / double(k * k);
+  state.counters["writes_total"] = double(s.writes);  // must be 0
+  state.counters["avg_degree"] = double(edges) / double(q);
+}
+BENCHMARK(BM_ClustersGraphNeighborListing)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

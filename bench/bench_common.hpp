@@ -1,0 +1,30 @@
+// Shared helpers for the benchmark suite: every bench reports the model
+// quantities (asymmetric reads, writes, work = reads + omega*writes) as
+// benchmark counters, so `--benchmark_format=console` prints the rows the
+// paper's Table 1 bounds.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include "amem/counters.hpp"
+
+namespace wecc::benchutil {
+
+/// Attach a measured Stats delta to the benchmark state.
+inline void report(benchmark::State& state, const amem::Stats& s,
+                   std::uint64_t omega) {
+  state.counters["reads"] = double(s.reads);
+  state.counters["writes"] = double(s.writes);
+  state.counters["work"] = double(s.work(omega));
+  state.counters["omega"] = double(omega);
+}
+
+/// Measure one call under reset counters; returns its Stats.
+template <typename F>
+amem::Stats measure(F&& f) {
+  amem::reset();
+  f();
+  return amem::snapshot();
+}
+
+}  // namespace wecc::benchutil

@@ -1,0 +1,67 @@
+// Experiment T1.crossover: Table 1's "best choice when" column.
+//
+// For fixed n and omega, sweep density m/n and measure the work
+// (reads + omega * writes) of the §4.2 algorithm (O(m + omega n)) against
+// the §4.3 oracle construction (O(sqrt(omega) m)). The paper predicts the
+// oracle wins while m < sqrt(omega) n and loses beyond — the crossover
+// should fall near m/n = sqrt(omega).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "connectivity/cc_oracle.hpp"
+#include "connectivity/we_cc.hpp"
+#include "graph/generators.hpp"
+#include "graph/vgraph.hpp"
+
+namespace {
+
+using namespace wecc;
+
+constexpr std::size_t kN = 8000;
+constexpr std::uint64_t kOmega = 64;  // sqrt(omega) = 8: crossover at m ~ 8n
+
+graph::Graph workload(std::size_t avg_deg) {
+  // Bounded-degree-ish: union of `avg_deg` matchings, so both algorithms
+  // see the same family as density grows.
+  return graph::gen::random_regular_ish(kN, avg_deg, 11);
+}
+
+void BM_Crossover_WeCc(benchmark::State& state) {
+  const std::size_t deg = std::size_t(state.range(0));
+  const graph::Graph g = workload(deg);
+  amem::Stats cost;
+  for (auto _ : state) {
+    cost = benchutil::measure(
+        [&] { connectivity::we_cc(g, 1.0 / double(kOmega), 3); });
+  }
+  benchutil::report(state, cost, kOmega);
+  state.counters["m_over_n"] =
+      double(g.num_edges()) / double(g.num_vertices());
+}
+BENCHMARK(BM_Crossover_WeCc)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_Crossover_Oracle(benchmark::State& state) {
+  const std::size_t deg = std::size_t(state.range(0));
+  const graph::Graph g = workload(deg);
+  const graph::VGraph vg(g, 4);  // §6 keeps the degree bound as deg grows
+  connectivity::CcOracleOptions opt;
+  opt.k = std::size_t(std::sqrt(double(kOmega)));
+  opt.seed = 3;
+  amem::Stats cost;
+  for (auto _ : state) {
+    cost = benchutil::measure([&] {
+      connectivity::ConnectivityOracle<graph::VGraph>::build(vg, opt);
+    });
+  }
+  benchutil::report(state, cost, kOmega);
+  state.counters["m_over_n"] =
+      double(g.num_edges()) / double(g.num_vertices());
+  state.counters["sqrt_omega"] = std::sqrt(double(kOmega));
+}
+BENCHMARK(BM_Crossover_Oracle)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

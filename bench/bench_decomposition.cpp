@@ -1,0 +1,97 @@
+// Experiments F1 + L3.2/3.5/3.6: implicit k-decomposition (Theorem 3.1).
+// Sweeps k and measures the read/write tradeoff the theorem promises:
+//   construction O(kn) reads, O(n/k) writes; rho O(k) reads, 0 writes;
+//   C(s) O(k^2) reads; |S| = O(n/k); cluster sizes <= k.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "decomp/implicit_decomp.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace wecc;
+using Decomp = decomp::ImplicitDecomposition<graph::Graph>;
+
+const graph::Graph& torus() {
+  static const graph::Graph g = graph::gen::grid2d(120, 120, true);
+  return g;
+}
+
+void BM_DecompBuild(benchmark::State& state) {
+  const std::size_t k = std::size_t(state.range(0));
+  const graph::Graph& g = torus();
+  decomp::DecompOptions opt;
+  opt.k = k;
+  opt.seed = 17;
+  amem::Stats cost;
+  std::size_t centers = 0;
+  for (auto _ : state) {
+    cost = benchutil::measure([&] {
+      const auto d = Decomp::build(g, opt);
+      centers = d.center_list().size();
+    });
+  }
+  benchutil::report(state, cost, k * k);  // omega = k^2 per §4.3's choice
+  state.counters["k"] = double(k);
+  state.counters["centers"] = double(centers);
+  state.counters["n_over_k"] = double(g.num_vertices()) / double(k);
+  state.counters["writes_x_k"] = double(cost.writes) * double(k);
+  state.counters["reads_over_kn"] =
+      double(cost.reads) / (double(k) * double(g.num_vertices()));
+}
+BENCHMARK(BM_DecompBuild)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_DecompRhoQuery(benchmark::State& state) {
+  const std::size_t k = std::size_t(state.range(0));
+  const graph::Graph& g = torus();
+  decomp::DecompOptions opt;
+  opt.k = k;
+  opt.seed = 17;
+  const auto d = Decomp::build(g, opt);
+  graph::vertex_id v = 0;
+  amem::reset();
+  std::uint64_t queries = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.rho(v));
+    v = graph::vertex_id((v + 7919) % g.num_vertices());
+    ++queries;
+  }
+  const auto s = amem::snapshot();
+  benchutil::report(state, s, k * k);
+  state.counters["k"] = double(k);
+  state.counters["reads_per_query"] = double(s.reads) / double(queries);
+  state.counters["writes_total"] = double(s.writes);  // must be 0
+}
+BENCHMARK(BM_DecompRhoQuery)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_DecompClusterQuery(benchmark::State& state) {
+  const std::size_t k = std::size_t(state.range(0));
+  const graph::Graph& g = torus();
+  decomp::DecompOptions opt;
+  opt.k = k;
+  opt.seed = 17;
+  const auto d = Decomp::build(g, opt);
+  const auto& centers = d.center_list();
+  std::size_t i = 0;
+  amem::reset();
+  std::uint64_t queries = 0, member_sum = 0;
+  for (auto _ : state) {
+    member_sum += d.cluster(centers[i]).members.size();
+    i = (i + 1) % centers.size();
+    ++queries;
+  }
+  const auto s = amem::snapshot();
+  benchutil::report(state, s, k * k);
+  state.counters["k"] = double(k);
+  state.counters["reads_per_query"] = double(s.reads) / double(queries);
+  state.counters["reads_per_k2"] =
+      double(s.reads) / double(queries) / double(k * k);
+  state.counters["avg_cluster_size"] =
+      double(member_sum) / double(queries);
+}
+BENCHMARK(BM_DecompClusterQuery)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// Experiment T4.1: low-diameter decomposition (Theorem 4.1).
+// Validates, across beta, that (a) writes stay O(n) independent of m,
+// (b) cut edges track beta*m, (c) rounds track log(n)/beta.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "graph/generators.hpp"
+#include "ldd/ldd.hpp"
+
+namespace {
+
+using namespace wecc;
+
+void BM_LddBetaSweep(benchmark::State& state) {
+  const double beta = 1.0 / double(state.range(0));
+  const graph::Graph g = graph::gen::erdos_renyi(20000, 200000, 7);
+  std::size_t cut = 0, rounds = 0;
+  amem::Stats cost;
+  for (auto _ : state) {
+    cost = benchutil::measure([&] {
+      const auto r = ldd::decompose(g, beta, 11);
+      rounds = r.rounds;
+      cut = 0;
+      for (const auto& e : g.edge_list()) {
+        cut += e.u != e.v &&
+               r.cluster.raw()[e.u] != r.cluster.raw()[e.v];
+      }
+    });
+  }
+  benchutil::report(state, cost, state.range(0));
+  state.counters["cut_edges"] = double(cut);
+  state.counters["beta_m"] = beta * double(g.num_edges());
+  state.counters["rounds"] = double(rounds);
+  state.counters["n"] = double(g.num_vertices());
+  state.counters["m"] = double(g.num_edges());
+}
+BENCHMARK(BM_LddBetaSweep)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+// Writes must not scale with m for fixed n.
+void BM_LddWritesVsDensity(benchmark::State& state) {
+  const std::size_t m = std::size_t(state.range(0));
+  const graph::Graph g = graph::gen::erdos_renyi(10000, m, 3);
+  amem::Stats cost;
+  for (auto _ : state) {
+    cost = benchutil::measure([&] { ldd::decompose(g, 0.125, 5); });
+  }
+  benchutil::report(state, cost, 8);
+  state.counters["m"] = double(m);
+  state.counters["writes_per_n"] =
+      double(cost.writes) / double(g.num_vertices());
+}
+BENCHMARK(BM_LddWritesVsDensity)
+    ->Arg(20000)
+    ->Arg(80000)
+    ->Arg(320000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,108 @@
+// Experiment T1.queries: query-cost column of Table 1.
+//   §4.2 / §5.2 structures:   O(1) reads per query
+//   §4.3 connectivity oracle: O(sqrt(omega)) expected reads
+//   §5.3 biconnectivity oracle: O(omega) expected reads
+// Sweeping omega shows each query family tracking its bound.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "biconn/bc_labeling.hpp"
+#include "biconn/biconn_oracle.hpp"
+#include "connectivity/cc_oracle.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace wecc;
+
+const graph::Graph& workload() {
+  static const graph::Graph g = graph::gen::grid2d(120, 120, true);
+  return g;
+}
+
+void BM_Query_CcLabelArray(benchmark::State& state) {
+  const auto& g = workload();
+  const auto cc = connectivity::we_cc(g, 0.125, 3);
+  graph::vertex_id v = 0;
+  amem::reset();
+  std::uint64_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cc.connected(v, graph::vertex_id((v * 7919) % g.num_vertices())));
+    v = graph::vertex_id((v + 131) % g.num_vertices());
+    ++q;
+  }
+  state.counters["reads_per_query"] =
+      double(amem::snapshot().reads) / double(q);
+}
+BENCHMARK(BM_Query_CcLabelArray);
+
+void BM_Query_BcLabeling(benchmark::State& state) {
+  const auto& g = workload();
+  const auto bc = biconn::BcLabeling::build(g);
+  graph::vertex_id v = 0;
+  amem::reset();
+  std::uint64_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bc.same_bcc(v, graph::vertex_id((v * 7919) % g.num_vertices())));
+    v = graph::vertex_id((v + 131) % g.num_vertices());
+    ++q;
+  }
+  state.counters["reads_per_query"] =
+      double(amem::snapshot().reads) / double(q);
+}
+BENCHMARK(BM_Query_BcLabeling);
+
+void BM_Query_CcOracle(benchmark::State& state) {
+  const std::uint64_t omega = std::uint64_t(state.range(0));
+  const std::size_t k =
+      std::max<std::size_t>(2, std::size_t(std::sqrt(double(omega))));
+  const auto& g = workload();
+  connectivity::CcOracleOptions opt;
+  opt.k = k;
+  const auto o =
+      connectivity::ConnectivityOracle<graph::Graph>::build(g, opt);
+  graph::vertex_id v = 0;
+  amem::reset();
+  std::uint64_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        o.connected(v, graph::vertex_id((v * 7919) % g.num_vertices())));
+    v = graph::vertex_id((v + 131) % g.num_vertices());
+    ++q;
+  }
+  state.counters["reads_per_query"] =
+      double(amem::snapshot().reads) / double(q);
+  state.counters["sqrt_omega"] = std::sqrt(double(omega));
+}
+BENCHMARK(BM_Query_CcOracle)->Arg(4)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_Query_BiconnOracle(benchmark::State& state) {
+  const std::uint64_t omega = std::uint64_t(state.range(0));
+  const std::size_t k =
+      std::max<std::size_t>(2, std::size_t(std::sqrt(double(omega))));
+  const auto& g = workload();
+  biconn::BiconnOracleOptions opt;
+  opt.k = k;
+  const auto o = biconn::BiconnectivityOracle<graph::Graph>::build(g, opt);
+  graph::vertex_id v = 0;
+  amem::reset();
+  std::uint64_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(o.biconnected(
+        v, graph::vertex_id((v * 7919) % g.num_vertices())));
+    v = graph::vertex_id((v + 131) % g.num_vertices());
+    ++q;
+  }
+  state.counters["reads_per_query"] =
+      double(amem::snapshot().reads) / double(q);
+  state.counters["omega"] = double(omega);
+}
+BENCHMARK(BM_Query_BiconnOracle)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,139 @@
+// Experiment T1.biconn: Table 1, biconnectivity rows.
+//
+//   prior work (Tarjan–Vishkin, per-edge output):  Theta(m) writes
+//   ours §5.2 (BC labeling):                       O(n + m/omega) writes
+//   ours §5.3 (oracle, bounded degree):            O(n/sqrt(omega)) writes
+//
+// plus the query costs of each representation.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "biconn/bc_labeling.hpp"
+#include "biconn/biconn_oracle.hpp"
+#include "biconn/tarjan_vishkin.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace wecc;
+using Oracle = biconn::BiconnectivityOracle<graph::Graph>;
+
+const graph::Graph& dense_workload() {
+  static const graph::Graph g = graph::gen::erdos_renyi(10000, 200000, 9);
+  return g;
+}
+const graph::Graph& sparse_workload() {
+  static const graph::Graph g = graph::gen::grid2d(100, 100, true);
+  return g;
+}
+
+void BM_TarjanVishkinClassic(benchmark::State& state) {
+  const std::uint64_t omega = std::uint64_t(state.range(0));
+  const auto& g = dense_workload();
+  amem::Stats cost;
+  for (auto _ : state) {
+    cost = benchutil::measure([&] { biconn::tarjan_vishkin(g); });
+  }
+  benchutil::report(state, cost, omega);
+  state.counters["writes_per_m"] =
+      double(cost.writes) / double(g.num_edges());
+}
+BENCHMARK(BM_TarjanVishkinClassic)->Arg(1)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_BcLabeling(benchmark::State& state) {
+  const std::uint64_t omega = std::uint64_t(state.range(0));
+  const auto& g = dense_workload();
+  biconn::BcOptions opt;
+  opt.parallel_cc = true;
+  opt.beta = 1.0 / double(omega);
+  amem::Stats cost;
+  for (auto _ : state) {
+    cost = benchutil::measure([&] { biconn::BcLabeling::build(g, opt); });
+  }
+  benchutil::report(state, cost, omega);
+  state.counters["writes_per_n"] =
+      double(cost.writes) / double(g.num_vertices());
+}
+BENCHMARK(BM_BcLabeling)->Arg(1)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_BcLabelingQueries(benchmark::State& state) {
+  const auto& g = dense_workload();
+  const auto bc = biconn::BcLabeling::build(g);
+  graph::vertex_id v = 1;
+  amem::reset();
+  std::uint64_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bc.same_bcc(
+        v, graph::vertex_id((v * 31) % g.num_vertices())));
+    benchmark::DoNotOptimize(bc.is_articulation(v));
+    v = graph::vertex_id((v + 257) % g.num_vertices());
+    q += 2;
+  }
+  const auto s = amem::snapshot();
+  benchutil::report(state, s, 64);
+  state.counters["reads_per_query"] = double(s.reads) / double(q);
+}
+BENCHMARK(BM_BcLabelingQueries);
+
+void BM_BiconnOracleBuild(benchmark::State& state) {
+  const std::uint64_t omega = std::uint64_t(state.range(0));
+  const std::size_t k =
+      std::max<std::size_t>(2, std::size_t(std::sqrt(double(omega))));
+  const auto& g = sparse_workload();
+  biconn::BiconnOracleOptions opt;
+  opt.k = k;
+  opt.seed = 5;
+  amem::Stats cost;
+  for (auto _ : state) {
+    cost = benchutil::measure([&] { Oracle::build(g, opt); });
+  }
+  benchutil::report(state, cost, omega);
+  state.counters["k"] = double(k);
+  state.counters["writes_x_k_per_n"] =
+      double(cost.writes) * double(k) / double(g.num_vertices());
+}
+BENCHMARK(BM_BiconnOracleBuild)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_BcLabelingBuildSparse(benchmark::State& state) {
+  // The Theta(n)-write comparator for the oracle on the same workload.
+  const std::uint64_t omega = std::uint64_t(state.range(0));
+  const auto& g = sparse_workload();
+  amem::Stats cost;
+  for (auto _ : state) {
+    cost = benchutil::measure([&] { biconn::BcLabeling::build(g); });
+  }
+  benchutil::report(state, cost, omega);
+}
+BENCHMARK(BM_BcLabelingBuildSparse)->Arg(16)->Arg(256)->Arg(1024);
+
+void BM_BiconnOracleQueries(benchmark::State& state) {
+  const std::uint64_t omega = std::uint64_t(state.range(0));
+  const std::size_t k =
+      std::max<std::size_t>(2, std::size_t(std::sqrt(double(omega))));
+  const auto& g = sparse_workload();
+  biconn::BiconnOracleOptions opt;
+  opt.k = k;
+  opt.seed = 5;
+  const auto o = Oracle::build(g, opt);
+  graph::vertex_id v = 0;
+  amem::reset();
+  std::uint64_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(o.biconnected(
+        v, graph::vertex_id((v * 7919) % g.num_vertices())));
+    v = graph::vertex_id((v + 131) % g.num_vertices());
+    ++q;
+  }
+  const auto s = amem::snapshot();
+  benchutil::report(state, s, omega);
+  state.counters["k"] = double(k);
+  state.counters["reads_per_query"] = double(s.reads) / double(q);
+  state.counters["budget_omega"] = double(omega);
+}
+BENCHMARK(BM_BiconnOracleQueries)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+// Experiment T1.conn: Table 1, connectivity rows.
+//
+//   prior work (parallel):  Theta(m) writes  => Theta(omega m) work
+//   ours §4.2:              O(n + m/omega) writes => O(m + omega n) work
+//   sequential baseline:    O(n) writes, O(m) reads (already optimal seq.)
+//
+// The harness sweeps omega on a dense-ish graph and prints, per algorithm,
+// the measured reads / writes / work — the "shape" to check is that the
+// baseline's work grows ~linearly with omega while §4.2's flattens, and
+// that the write ratio baseline/ours approaches omega.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "connectivity/baseline_parallel_cc.hpp"
+#include "connectivity/seq_cc.hpp"
+#include "connectivity/we_cc.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace wecc;
+
+const graph::Graph& workload() {
+  // n = 20k, m = 400k: the m >> n regime where Table 1 row 1 applies.
+  static const graph::Graph g = graph::gen::erdos_renyi(20000, 400000, 7);
+  return g;
+}
+
+void BM_SeqBfsCc(benchmark::State& state) {
+  const std::uint64_t omega = std::uint64_t(state.range(0));
+  const auto& g = workload();
+  amem::Stats cost;
+  std::size_t comps = 0;
+  for (auto _ : state) {
+    cost = benchutil::measure(
+        [&] { comps = connectivity::bfs_cc(g).num_components; });
+  }
+  benchutil::report(state, cost, omega);
+  state.counters["components"] = double(comps);
+}
+BENCHMARK(BM_SeqBfsCc)->Arg(1)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_PriorParallelCc(benchmark::State& state) {
+  const std::uint64_t omega = std::uint64_t(state.range(0));
+  const auto& g = workload();
+  amem::Stats cost;
+  for (auto _ : state) {
+    cost = benchutil::measure([&] { connectivity::shun_baseline_cc(g); });
+  }
+  benchutil::report(state, cost, omega);
+  state.counters["writes_per_m"] =
+      double(cost.writes) / double(g.num_edges());
+}
+BENCHMARK(BM_PriorParallelCc)->Arg(1)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_WriteEfficientCc(benchmark::State& state) {
+  const std::uint64_t omega = std::uint64_t(state.range(0));
+  const auto& g = workload();
+  amem::Stats cost;
+  for (auto _ : state) {
+    cost = benchutil::measure(
+        [&] { connectivity::we_cc(g, 1.0 / double(omega), 5); });
+  }
+  benchutil::report(state, cost, omega);
+  state.counters["writes_per_n"] =
+      double(cost.writes) / double(g.num_vertices());
+  state.counters["budget_n_plus_m_over_w"] =
+      double(g.num_vertices()) + double(g.num_edges()) / double(omega);
+}
+BENCHMARK(BM_WriteEfficientCc)->Arg(1)->Arg(16)->Arg(64)->Arg(256);
+
+// Spanning forest variant (Theorem 4.2 also covers forests).
+void BM_WriteEfficientSpanningForest(benchmark::State& state) {
+  const std::uint64_t omega = std::uint64_t(state.range(0));
+  const auto& g = workload();
+  amem::Stats cost;
+  std::size_t forest_edges = 0;
+  for (auto _ : state) {
+    cost = benchutil::measure([&] {
+      connectivity::WeCcOptions opt;
+      opt.beta = 1.0 / double(omega);
+      opt.want_forest = true;
+      forest_edges = connectivity::we_connectivity(g, opt).edges.size();
+    });
+  }
+  benchutil::report(state, cost, omega);
+  state.counters["forest_edges"] = double(forest_edges);
+}
+BENCHMARK(BM_WriteEfficientSpanningForest)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

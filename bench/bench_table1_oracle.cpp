@@ -1,0 +1,102 @@
+// Experiment T1.conn.ours2: Table 1, sparse-graph connectivity oracle row
+// (§4.3, Theorem 4.4) — construction O(m/sqrt(omega)) writes and
+// O(sqrt(omega) m) operations, queries O(sqrt(omega)) reads, versus the
+// Theta(n)-write barrier of every previous approach (here: BFS labeling).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "connectivity/cc_oracle.hpp"
+#include "connectivity/seq_cc.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace wecc;
+using Oracle = connectivity::ConnectivityOracle<graph::Graph>;
+
+const graph::Graph& workload() {
+  // Bounded-degree sparse graph (m ~ 2n): Table 1's m in o(sqrt(omega) n).
+  static const graph::Graph g = graph::gen::grid2d(160, 160, true);
+  return g;
+}
+
+void BM_OracleBuild(benchmark::State& state) {
+  const std::uint64_t omega = std::uint64_t(state.range(0));
+  const std::size_t k =
+      std::max<std::size_t>(2, std::size_t(std::sqrt(double(omega))));
+  const auto& g = workload();
+  connectivity::CcOracleOptions opt;
+  opt.k = k;
+  opt.seed = 5;
+  amem::Stats cost;
+  for (auto _ : state) {
+    cost = benchutil::measure([&] { Oracle::build(g, opt); });
+  }
+  benchutil::report(state, cost, omega);
+  state.counters["k"] = double(k);
+  state.counters["writes_x_k_per_n"] =
+      double(cost.writes) * double(k) / double(g.num_vertices());
+}
+BENCHMARK(BM_OracleBuild)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_OracleBuildParallelMode(benchmark::State& state) {
+  const std::uint64_t omega = std::uint64_t(state.range(0));
+  const std::size_t k =
+      std::max<std::size_t>(2, std::size_t(std::sqrt(double(omega))));
+  const auto& g = workload();
+  connectivity::CcOracleOptions opt;
+  opt.k = k;
+  opt.seed = 5;
+  opt.parallel = true;
+  amem::Stats cost;
+  for (auto _ : state) {
+    cost = benchutil::measure([&] { Oracle::build(g, opt); });
+  }
+  benchutil::report(state, cost, omega);
+  state.counters["k"] = double(k);
+}
+BENCHMARK(BM_OracleBuildParallelMode)->Arg(64)->Arg(256);
+
+void BM_BfsBaselineBuild(benchmark::State& state) {
+  const std::uint64_t omega = std::uint64_t(state.range(0));
+  const auto& g = workload();
+  amem::Stats cost;
+  for (auto _ : state) {
+    cost = benchutil::measure([&] { connectivity::bfs_cc(g); });
+  }
+  benchutil::report(state, cost, omega);
+  state.counters["writes_per_n"] =
+      double(cost.writes) / double(g.num_vertices());
+}
+BENCHMARK(BM_BfsBaselineBuild)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_OracleQuery(benchmark::State& state) {
+  const std::uint64_t omega = std::uint64_t(state.range(0));
+  const std::size_t k =
+      std::max<std::size_t>(2, std::size_t(std::sqrt(double(omega))));
+  const auto& g = workload();
+  connectivity::CcOracleOptions opt;
+  opt.k = k;
+  opt.seed = 5;
+  const auto o = Oracle::build(g, opt);
+  graph::vertex_id v = 0;
+  amem::reset();
+  std::uint64_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        o.connected(v, graph::vertex_id((v * 7919) % g.num_vertices())));
+    v = graph::vertex_id((v + 131) % g.num_vertices());
+    ++q;
+  }
+  const auto s = amem::snapshot();
+  benchutil::report(state, s, omega);
+  state.counters["k"] = double(k);
+  state.counters["reads_per_query"] = double(s.reads) / double(q);
+}
+BENCHMARK(BM_OracleQuery)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

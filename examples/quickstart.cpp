@@ -1,0 +1,73 @@
+// Quickstart: build a graph, run write-efficient connectivity, construct the
+// sublinear-write connectivity oracle, and compare asymmetric-memory costs.
+//
+//   $ ./quickstart [omega]
+//
+// omega is the model's write cost (default 16). The program prints the
+// measured reads/writes/work of each algorithm — the same quantities Table 1
+// of the paper bounds.
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+
+#include "amem/counters.hpp"
+#include "connectivity/cc_oracle.hpp"
+#include "connectivity/seq_cc.hpp"
+#include "connectivity/we_cc.hpp"
+#include "graph/generators.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wecc;
+  const std::uint64_t omega = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                                       : 16;
+
+  // A bounded-degree workload: a 200x200 torus (n = 40000, degree 4).
+  const graph::Graph g = graph::gen::grid2d(200, 200, /*wrap=*/true);
+  std::printf("graph: n=%zu m=%zu maxdeg=%zu, omega=%llu\n\n",
+              g.num_vertices(), g.num_edges(), g.max_degree(),
+              (unsigned long long)omega);
+
+  // 1. Classic sequential BFS connectivity: O(m) reads, O(n) writes.
+  amem::reset();
+  const auto bfs = connectivity::bfs_cc(g);
+  const auto bfs_cost = amem::snapshot();
+  std::printf("bfs_cc        : %s  (components=%zu)\n",
+              amem::to_string(bfs_cost, omega).c_str(), bfs.num_components);
+
+  // 2. §4.2 write-efficient parallel connectivity, beta = 1/omega.
+  amem::reset();
+  const auto we = connectivity::we_cc(g, 1.0 / double(omega));
+  const auto we_cost = amem::snapshot();
+  std::printf("we_cc (§4.2)  : %s  (components=%zu)\n",
+              amem::to_string(we_cost, omega).c_str(), we.num_components);
+
+  // 3. §4.3 sublinear-write oracle, k = sqrt(omega).
+  const std::size_t k =
+      std::max<std::size_t>(2, std::size_t(std::sqrt(double(omega))));
+  amem::reset();
+  connectivity::CcOracleOptions opt;
+  opt.k = k;
+  const auto oracle =
+      connectivity::ConnectivityOracle<graph::Graph>::build(g, opt);
+  const auto oracle_cost = amem::snapshot();
+  std::printf("oracle (§4.3) : %s  (k=%zu)\n",
+              amem::to_string(oracle_cost, omega).c_str(), k);
+
+  // Queries: O(k) reads, no writes.
+  amem::reset();
+  std::size_t same = 0;
+  const std::size_t q = 1000;
+  for (graph::vertex_id v = 0; v < q; ++v) {
+    same += oracle.connected(v, graph::vertex_id(
+                                    (v * 7919u) % g.num_vertices()));
+  }
+  const auto query_cost = amem::snapshot();
+  std::printf("1000 queries  : %s  (avg %.1f reads/query, %zu connected)\n\n",
+              amem::to_string(query_cost, omega).c_str(),
+              double(query_cost.reads) / double(q), same);
+
+  std::printf("write reduction vs BFS: %.1fx (we_cc), %.1fx (oracle)\n",
+              double(bfs_cost.writes) / double(we_cost.writes),
+              double(bfs_cost.writes) / double(oracle_cost.writes));
+  return 0;
+}

@@ -1,0 +1,65 @@
+// asym_array<T>: an array resident in the large asymmetric memory.
+//
+// Accesses are explicit — `read(i)` charges one read, `write(i, v)` charges
+// one write — which keeps the write-efficiency of each algorithm visible at
+// the call site (the central discipline of the paper). Bulk helpers charge
+// accordingly. `raw()` exposes the storage uncounted; it is reserved for
+// test assertions and result extraction after an instrumented phase ends.
+//
+// Model note: allocation returns zero-initialized storage and is not charged
+// (the paper never charges for allocating its outputs either; all its write
+// bounds count explicit stores).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "amem/counters.hpp"
+
+namespace wecc::amem {
+
+template <typename T>
+class asym_array {
+ public:
+  asym_array() = default;
+  explicit asym_array(std::size_t n, const T& init = T{}) : data_(n, init) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  /// Counted read of element i.
+  [[nodiscard]] const T& read(std::size_t i) const {
+    assert(i < data_.size());
+    count_read();
+    return data_[i];
+  }
+
+  /// Counted write of element i.
+  void write(std::size_t i, const T& v) {
+    assert(i < data_.size());
+    count_write();
+    data_[i] = v;
+  }
+
+  /// Counted append (one write). Amortized reallocation is not charged;
+  /// callers with strict budgets reserve up front.
+  void push_back(const T& v) {
+    count_write();
+    data_.push_back(v);
+  }
+
+  void reserve(std::size_t n) { data_.reserve(n); }
+
+  /// Resize without charging (allocation of zeroed memory is free; see top).
+  void resize(std::size_t n, const T& init = T{}) { data_.resize(n, init); }
+
+  /// Uncounted access — test assertions / result extraction only.
+  [[nodiscard]] const std::vector<T>& raw() const noexcept { return data_; }
+  [[nodiscard]] std::vector<T>& raw() noexcept { return data_; }
+
+ private:
+  std::vector<T> data_;
+};
+
+}  // namespace wecc::amem

@@ -1,0 +1,46 @@
+#include "amem/counters.hpp"
+
+#include <sstream>
+
+namespace wecc::amem {
+
+namespace detail {
+
+CounterShard g_shards[kCounterShards];
+
+namespace {
+std::atomic<std::size_t> g_next_slot{0};
+}  // namespace
+
+std::size_t shard_index() noexcept {
+  thread_local const std::size_t slot =
+      g_next_slot.fetch_add(1, std::memory_order_relaxed) % kCounterShards;
+  return slot;
+}
+
+}  // namespace detail
+
+Stats snapshot() noexcept {
+  Stats s;
+  for (const auto& shard : detail::g_shards) {
+    s.reads += shard.reads.load(std::memory_order_relaxed);
+    s.writes += shard.writes.load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+void reset() noexcept {
+  for (auto& shard : detail::g_shards) {
+    shard.reads.store(0, std::memory_order_relaxed);
+    shard.writes.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::string to_string(const Stats& s, std::uint64_t omega) {
+  std::ostringstream os;
+  os << "reads=" << s.reads << " writes=" << s.writes << " work(w=" << omega
+     << ")=" << s.work(omega);
+  return os.str();
+}
+
+}  // namespace wecc::amem

@@ -1,0 +1,87 @@
+// Asymmetric-memory cost accounting (Asymmetric RAM / Asymmetric NP models).
+//
+// The models of Blelloch et al. [13] and Ben-David et al. [9] charge
+// `omega >> 1` per word written to the large asymmetric memory and unit cost
+// per read or other operation; a small per-task symmetric memory is free
+// apart from its size bound. This header provides the process-wide counters
+// every wecc algorithm reports against:
+//
+//   * count_read / count_write   — charge accesses to asymmetric memory
+//   * Stats / snapshot / reset   — read the counters
+//   * Stats::work(omega)         — reads + omega * writes (model work)
+//   * Phase                      — RAII scope measuring a stage's delta
+//
+// Counters are sharded per thread slot to keep parallel instrumentation off
+// the critical path; totals are exact (relaxed atomics summed at snapshot).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace wecc::amem {
+
+inline constexpr std::size_t kCounterShards = 64;
+
+struct alignas(64) CounterShard {
+  std::atomic<std::uint64_t> reads{0};
+  std::atomic<std::uint64_t> writes{0};
+};
+
+namespace detail {
+extern CounterShard g_shards[kCounterShards];
+// Index of this thread's shard; assigned round-robin on first use.
+std::size_t shard_index() noexcept;
+}  // namespace detail
+
+/// Charge `n` reads of asymmetric memory.
+inline void count_read(std::uint64_t n = 1) noexcept {
+  detail::g_shards[detail::shard_index()].reads.fetch_add(
+      n, std::memory_order_relaxed);
+}
+
+/// Charge `n` writes to asymmetric memory.
+inline void count_write(std::uint64_t n = 1) noexcept {
+  detail::g_shards[detail::shard_index()].writes.fetch_add(
+      n, std::memory_order_relaxed);
+}
+
+/// A snapshot of the counters (or a delta between two snapshots).
+struct Stats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+
+  /// Model work: unit-cost reads/operations plus omega-cost writes.
+  [[nodiscard]] std::uint64_t work(std::uint64_t omega) const noexcept {
+    return reads + omega * writes;
+  }
+  Stats operator-(const Stats& o) const noexcept {
+    return Stats{reads - o.reads, writes - o.writes};
+  }
+  Stats operator+(const Stats& o) const noexcept {
+    return Stats{reads + o.reads, writes + o.writes};
+  }
+  bool operator==(const Stats& o) const noexcept = default;
+};
+
+/// Sum all shards.
+Stats snapshot() noexcept;
+
+/// Zero all shards. Only call when no instrumented code is running.
+void reset() noexcept;
+
+/// RAII scope: measures the read/write delta of a stage.
+class Phase {
+ public:
+  Phase() : start_(snapshot()) {}
+  /// Reads/writes performed since construction.
+  [[nodiscard]] Stats delta() const noexcept { return snapshot() - start_; }
+
+ private:
+  Stats start_;
+};
+
+/// Pretty one-line rendering ("reads=... writes=... work(w=8)=...").
+std::string to_string(const Stats& s, std::uint64_t omega);
+
+}  // namespace wecc::amem

@@ -1,0 +1,71 @@
+// Symmetric-memory (per-task scratch) usage tracking.
+//
+// Both models in the paper allow a small symmetric memory whose accesses are
+// free but whose *size* is bounded (O(omega log n) words for the headline
+// results, O(k log n) during decomposition queries). SymScratch is a scoped
+// tracker: algorithms report how many words of scratch they hold, and tests
+// assert the high-water mark stays within the claimed bound.
+//
+// Tracking is per-thread (the model's symmetric memory is task-private), and
+// a process-wide peak across threads is kept for reporting.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace wecc::amem {
+
+namespace sym_detail {
+inline thread_local std::int64_t t_words_in_use = 0;
+inline thread_local std::int64_t t_peak_words = 0;
+inline std::atomic<std::int64_t> g_peak_words{0};
+
+inline void bump_peak() noexcept {
+  if (t_words_in_use > t_peak_words) {
+    t_peak_words = t_words_in_use;
+    std::int64_t cur = g_peak_words.load(std::memory_order_relaxed);
+    while (t_peak_words > cur &&
+           !g_peak_words.compare_exchange_weak(cur, t_peak_words,
+                                               std::memory_order_relaxed)) {
+    }
+  }
+}
+}  // namespace sym_detail
+
+/// RAII claim of `words` of symmetric memory for the current task.
+class SymScratch {
+ public:
+  explicit SymScratch(std::size_t words) : words_(std::int64_t(words)) {
+    sym_detail::t_words_in_use += words_;
+    sym_detail::bump_peak();
+  }
+  ~SymScratch() { sym_detail::t_words_in_use -= words_; }
+  SymScratch(const SymScratch&) = delete;
+  SymScratch& operator=(const SymScratch&) = delete;
+
+  /// Grow the claim (e.g. a search frontier that expanded).
+  void grow(std::size_t words) {
+    words_ += std::int64_t(words);
+    sym_detail::t_words_in_use += std::int64_t(words);
+    sym_detail::bump_peak();
+  }
+
+ private:
+  std::int64_t words_;
+};
+
+/// Peak symmetric-memory words held by any single task so far.
+inline std::int64_t sym_peak_words() noexcept {
+  return sym_detail::g_peak_words.load(std::memory_order_relaxed);
+}
+
+/// Reset the process-wide peak (thread-local peaks of live threads persist
+/// until those threads next allocate; call between single-threaded phases).
+inline void sym_reset_peak() noexcept {
+  sym_detail::g_peak_words.store(0, std::memory_order_relaxed);
+  sym_detail::t_peak_words = 0;
+}
+
+}  // namespace wecc::amem

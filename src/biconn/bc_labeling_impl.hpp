@@ -1,0 +1,260 @@
+// Implementation of BcLabeling (included from bc_labeling.hpp).
+#pragma once
+
+#include <cassert>
+#include <unordered_map>
+
+namespace wecc::biconn {
+
+namespace detail {
+
+/// GraphView that hides every instance (the tree edge *and* its parallel
+/// duplicates — the footnote-3 rule, required so a doubled critical edge
+/// does not reconnect the component its removal is meant to split) of each
+/// tree edge with `crit(child) == true`. Non-tree edges pass through.
+template <graph::GraphView G, typename Crit>
+struct FilteredView {
+  const G* g;
+  const std::vector<graph::vertex_id>* parent;
+  Crit crit;
+
+  [[nodiscard]] std::size_t num_vertices() const { return g->num_vertices(); }
+
+  template <typename F>
+  void for_neighbors(graph::vertex_id u, F&& fn) const {
+    g->for_neighbors(u, [&](graph::vertex_id w) {
+      if (w == u) return;  // self-loop
+      const bool hide = ((*parent)[w] == u && crit(w)) ||  // u's child
+                        ((*parent)[u] == w && crit(u));    // u's parent
+      if (!hide) fn(w);
+    });
+  }
+};
+
+}  // namespace detail
+
+template <graph::GraphView G>
+BcLabeling BcLabeling::build(const G& g, const BcOptions& opt) {
+  using graph::kNoVertex;
+  using graph::vertex_id;
+  const std::size_t n = g.num_vertices();
+  BcLabeling bc;
+
+  // Step 1: spanning forest + Euler numbers.
+  const auto forest = primitives::bfs_forest(g);
+  bc.tree_ = primitives::build_tree_arrays(forest.parent.raw());
+  const auto& parent = bc.tree_.parent;
+
+  // Step 2: per-vertex w (min first over self + non-tree neighbors) and W
+  // (max analogue). Instance-aware: one instance of each (u, parent/child)
+  // run is the tree edge; duplicates count as non-tree.
+  std::vector<std::uint32_t> w(n), W(n);
+  bc.dup_parent_.assign(n, 0);
+  std::vector<vertex_id> nbrs;
+  for (vertex_id u = 0; u < n; ++u) {
+    std::uint32_t mn = bc.tree_.first[u], mx = bc.tree_.first[u];
+    nbrs.clear();
+    g.for_neighbors(u, [&](vertex_id x) { nbrs.push_back(x); });
+    std::sort(nbrs.begin(), nbrs.end());
+    vertex_id prev = kNoVertex;
+    bool skipped = false;
+    std::size_t parent_count = 0;
+    for (const vertex_id x : nbrs) {
+      if (x != prev) {
+        prev = x;
+        skipped = false;
+      }
+      if (x == u) continue;
+      if (parent[u] != u && x == parent[u]) ++parent_count;
+      if (!skipped && (parent[x] == u || parent[u] == x)) {
+        skipped = true;  // the tree instance
+        continue;
+      }
+      mn = std::min(mn, bc.tree_.first[x]);
+      mx = std::max(mx, bc.tree_.first[x]);
+    }
+    if (parent_count >= 2) bc.dup_parent_[u] = 1;
+    w[u] = mn;
+    W[u] = mx;
+    amem::count_write(2);
+  }
+
+  // Step 3: leaffix min/max over subtrees.
+  bc.low_ = primitives::leaffix<std::uint32_t>(
+      bc.tree_, [&](vertex_id v) { return w[v]; },
+      [](std::uint32_t a, std::uint32_t b) { return std::min(a, b); });
+  bc.high_ = primitives::leaffix<std::uint32_t>(
+      bc.tree_, [&](vertex_id v) { return W[v]; },
+      [](std::uint32_t a, std::uint32_t b) { return std::max(a, b); });
+
+  // Step 4: critical tree edges.
+  bc.critical_.assign(n, 0);
+  for (vertex_id v = 0; v < n; ++v) {
+    const vertex_id p = parent[v];
+    amem::count_read(4);
+    if (p == v) continue;
+    if (bc.tree_.first[p] <= bc.low_[v] &&
+        bc.high_[v] <= bc.tree_.last[p]) {
+      bc.critical_[v] = 1;
+      amem::count_write();
+    }
+  }
+
+  // Step 5: connectivity without the critical tree edges.
+  const auto crit = [&](vertex_id v) { return bc.critical_[v] != 0; };
+  detail::FilteredView<G, decltype(crit)> fv{&g, &parent, crit};
+  connectivity::CcResult comps =
+      opt.parallel_cc ? connectivity::we_cc(fv, opt.beta, opt.seed)
+                      : connectivity::bfs_cc(fv);
+
+  // Dense BCC ids: a component is a BCC iff it contains a non-root vertex.
+  std::unordered_map<vertex_id, std::uint32_t> dense;
+  bc.label_.assign(n, kNoComp);
+  bc.heads_count_.assign(n, 0);
+  for (vertex_id v = 0; v < n; ++v) {
+    amem::count_read();
+    if (parent[v] == v) continue;  // roots resolved after their comp exists
+    const vertex_id raw = comps.label.read(v);
+    const auto [it, fresh] = dense.emplace(raw, std::uint32_t(dense.size()));
+    bc.label_[v] = it->second;
+    amem::count_write();
+    if (fresh) {
+      bc.head_.push_back(kNoVertex);
+      bc.comp_size_.push_back(0);
+    }
+    bc.comp_size_[it->second]++;
+  }
+  // Roots that share a component with non-root vertices join that BCC and
+  // head it; every other head is the unique outside parent.
+  for (vertex_id v = 0; v < n; ++v) {
+    amem::count_read();
+    if (parent[v] != v) continue;
+    const auto it = dense.find(comps.label.read(v));
+    if (it != dense.end()) {
+      bc.label_[v] = it->second;
+      bc.comp_size_[it->second]++;
+      bc.head_[it->second] = v;
+      amem::count_write(2);
+    }
+  }
+  for (vertex_id v = 0; v < n; ++v) {
+    amem::count_read(2);
+    const vertex_id p = parent[v];
+    if (p == v || !bc.critical_[v]) continue;
+    const std::uint32_t c = bc.label_[v];
+    if (bc.label_[p] == c) continue;  // parent inside the comp: not a head
+    assert(bc.head_[c] == kNoVertex || bc.head_[c] == p);
+    if (bc.head_[c] == kNoVertex) {
+      bc.head_[c] = p;
+      amem::count_write();
+    }
+  }
+  for (const vertex_id h : bc.head_) {
+    assert(h != kNoVertex);
+    if (h != kNoVertex) bc.heads_count_[h]++;
+  }
+  amem::count_write(bc.head_.size());
+
+  // Step 6: 2-edge-connected labels = connectivity minus bridges. A tree
+  // edge (p,v) is a bridge iff it is critical, v's component is a
+  // singleton, and no parallel duplicate exists (the "only edge connecting
+  // a single-vertex component and its head" rule of §5.2).
+  const auto bridge = [&](vertex_id v) {
+    return bc.critical_[v] != 0 && bc.comp_size_[bc.label_[v]] == 1 &&
+           bc.dup_parent_[v] == 0;
+  };
+  detail::FilteredView<G, decltype(bridge)> bv{&g, &parent, bridge};
+  connectivity::CcResult tcc = opt.parallel_cc
+                                   ? connectivity::we_cc(bv, opt.beta,
+                                                         opt.seed + 1)
+                                   : connectivity::bfs_cc(bv);
+  bc.tecc_.assign(n, 0);
+  for (vertex_id v = 0; v < n; ++v) {
+    bc.tecc_[v] = tcc.label.read(v);
+    amem::count_write();
+  }
+
+  // Connected-component labels for same_component (rootfix over the forest).
+  bc.cc_of_root_.assign(n, 0);
+  {
+    const auto cl = primitives::rootfix<vertex_id>(
+        bc.tree_, [](vertex_id r) { return r; },
+        [](vertex_id acc, vertex_id) { return acc; });
+    for (vertex_id v = 0; v < n; ++v) bc.cc_of_root_[v] = cl[v];
+    amem::count_write(n);
+  }
+  return bc;
+}
+
+template <graph::GraphView G>
+bool BcLabeling::is_bridge(const G&, graph::vertex_id u,
+                           graph::vertex_id v) const {
+  amem::count_read(4);
+  if (u == v) return false;
+  if (tree_.parent[v] == u) {
+    return critical_[v] && comp_size_[label_[v]] == 1 && !dup_parent_[v];
+  }
+  if (tree_.parent[u] == v) {
+    return critical_[u] && comp_size_[label_[u]] == 1 && !dup_parent_[u];
+  }
+  return false;  // non-tree edges close cycles, never bridges
+}
+
+inline BcLabeling::BridgeBlockTree BcLabeling::bridge_block_tree() const {
+  BridgeBlockTree t;
+  const std::size_t n = label_.size();
+  // Dense renumbering of tecc labels; one tree edge per bridge (a bridge
+  // (p, v) is identified by its critical child v, so each appears once).
+  std::unordered_map<std::uint32_t, std::uint32_t> dense;
+  t.comp_of.resize(n);
+  for (graph::vertex_id v = 0; v < n; ++v) {
+    const auto [it, fresh] =
+        dense.emplace(tecc_[v], std::uint32_t(dense.size()));
+    t.comp_of[v] = it->second;
+    amem::count_write();
+    (void)fresh;
+  }
+  t.num_components = dense.size();
+  for (graph::vertex_id v = 0; v < n; ++v) {
+    const graph::vertex_id p = tree_.parent[v];
+    if (p == v) continue;
+    amem::count_read(3);
+    if (critical_[v] && comp_size_[label_[v]] == 1 && !dup_parent_[v]) {
+      t.edges.push_back({t.comp_of[p], t.comp_of[v]});
+      amem::count_write();
+    }
+  }
+  return t;
+}
+
+inline BcLabeling::BlockCutTree BcLabeling::block_cut_tree() const {
+  BlockCutTree t;
+  t.num_blocks = head_.size();
+  const std::size_t n = label_.size();
+  std::unordered_map<graph::vertex_id, std::uint32_t> aidx;
+  for (graph::vertex_id v = 0; v < n; ++v) {
+    if (is_articulation(v)) {
+      aidx.emplace(v, std::uint32_t(t.artics.size()));
+      t.artics.push_back(v);
+    }
+  }
+  amem::count_write(t.artics.size());
+  // Block c contains articulation a iff a heads c or l(a) == c.
+  for (std::uint32_t c = 0; c < head_.size(); ++c) {
+    const auto it = aidx.find(head_[c]);
+    if (it != aidx.end()) {
+      t.edges.push_back({c, std::uint32_t(t.num_blocks + it->second)});
+    }
+  }
+  for (graph::vertex_id v = 0; v < n; ++v) {
+    const auto it = aidx.find(v);
+    if (it == aidx.end() || label_[v] == kNoComp) continue;
+    if (head_[label_[v]] == v) continue;  // already added as head
+    t.edges.push_back(
+        {label_[v], std::uint32_t(t.num_blocks + it->second)});
+  }
+  amem::count_write(t.edges.size());
+  return t;
+}
+
+}  // namespace wecc::biconn

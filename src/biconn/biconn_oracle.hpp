@@ -1,0 +1,280 @@
+// §5.3 (Theorem 5.3): biconnectivity oracle in sublinear writes.
+//
+// Construction (Algorithm 2), all on top of an implicit k-decomposition:
+//   1. clusters spanning forest with edge provenance — each non-root
+//      cluster D stores its parent cluster, the *cluster root* vertex
+//      croot(D) in D and the attach vertex in the parent (the endpoints of
+//      the chosen tree-edge instance); O(n/k) writes;
+//   2. BC labeling of the *implicit* clusters multigraph (Euler numbers,
+//      low/high from boundary-edge enumeration, critical edges,
+//      connectivity minus critical edges) — cluster labels l', cluster-level
+//      bridges; O(nk) operations, O(n/k) writes;
+//   3. local graphs (Definition 4) per cluster, with category-2 edges drawn
+//      from an equivalence over clusters-tree edges; per-cluster
+//      Hopcroft–Tarjan runs entirely in symmetric scratch;
+//   4. a fixpoint DSU over clusters-tree edges: initialized from the sound
+//      cluster-level relation (a simple cycle in the clusters multigraph
+//      lifts to a simple cycle in G), then refined by local-graph block
+//      merges until stable. This generalizes the paper's "neighbor clusters
+//      sharing a cluster label" rule to G-cycles that revisit a cluster
+//      (see DESIGN.md §3). A second fixpoint, seeded from the first, does
+//      the same for 2-edge-connectivity;
+//   5. per-edge bits within the O(n/k) budget: up_ok / bridge_up_ok
+//      (does the path through the parent cluster stay in one block / avoid
+//      bridges), root biconnectivity (Definition 5), global BCC ids of
+//      spanning blocks (DSU roots), internal-block counts with prefix
+//      offsets (Lemma 5.7), prefix bad counts, plus LCA/level-ancestor
+//      indices on the clusters forest (O((n/k) log n) words — documented
+//      log-factor deviation).
+//
+// Queries (no writes, O(k^2) expected operations = O(omega) at k=sqrt(w)):
+//   articulation points, bridges, vertex-pair biconnectivity, vertex-pair
+//   2-edge-connectivity, per-edge BCC labels. Components of size < k with
+//   no stored center ("virtual" components) are solved wholesale in
+//   scratch. Correctness is property-tested against Hopcroft–Tarjan ground
+//   truth in biconn_oracle_test.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "biconn/bc_labeling.hpp"
+#include "decomp/clusters_graph.hpp"
+#include "parallel/parallel_for.hpp"
+#include "primitives/blocked_lca.hpp"
+#include "primitives/small_biconn.hpp"
+
+namespace wecc::biconn {
+
+struct BiconnOracleOptions {
+  std::size_t k = 8;  // callers pass floor(sqrt(omega)), min 2
+  std::uint64_t seed = 1;
+  std::size_t max_fixpoint_rounds = 32;
+  /// §5.4: run the per-cluster construction passes (cluster labeling,
+  /// fixpoint sweeps, bit finalization) in parallel. Fixpoint rounds
+  /// become Jacobi-style (views read the round-start DSU; merges apply
+  /// after the round), which reaches the same least fixpoint — query
+  /// answers are identical to sequential mode (tested).
+  bool parallel = false;
+};
+
+/// A globally unique biconnected-component id. Spanning blocks are named by
+/// their clusters-tree edge DSU root; blocks confined to one cluster by a
+/// per-cluster offset + deterministic local rank; blocks of virtual (< k,
+/// centerless) components by their component minimum + local rank.
+struct BccId {
+  enum class Kind : std::uint8_t { kSpanning, kInternal, kVirtual };
+  Kind kind = Kind::kInternal;
+  std::uint64_t value = 0;
+  bool operator==(const BccId&) const = default;
+};
+
+template <graph::GraphView G>
+class BiconnectivityOracle {
+ public:
+  static BiconnectivityOracle build(const G& g,
+                                    const BiconnOracleOptions& opt);
+
+  [[nodiscard]] const decomp::ImplicitDecomposition<G>& decomposition()
+      const noexcept {
+    return decomp_;
+  }
+
+  /// Is v an articulation point of G?
+  [[nodiscard]] bool is_articulation(graph::vertex_id v) const;
+
+  /// Is {u, v} a bridge of G? (False if not an edge, or doubled.)
+  [[nodiscard]] bool is_bridge(graph::vertex_id u, graph::vertex_id v) const;
+
+  /// Do u and v share a biconnected component?
+  [[nodiscard]] bool biconnected(graph::vertex_id u,
+                                 graph::vertex_id v) const;
+
+  /// Are u and v 2-edge-connected (connected, no separating bridge)?
+  [[nodiscard]] bool two_edge_connected(graph::vertex_id u,
+                                        graph::vertex_id v) const;
+
+  /// BCC id of edge {u, v} (first matching instance; std::nullopt for
+  /// self-loops). The classic per-edge output of [21, 32], on demand.
+  [[nodiscard]] std::optional<BccId> edge_bcc(graph::vertex_id u,
+                                              graph::vertex_id v) const;
+
+  /// Connected-component representative (piggybacks on the clusters forest).
+  [[nodiscard]] graph::vertex_id component_of(graph::vertex_id v) const;
+
+  /// Definition 5: is the outside vertex of child cluster `ci` (i.e. its
+  /// cluster root, viewed from the parent's local graph) root-biconnected
+  /// in the parent? Exposed for tests of Lemma 5.6.
+  [[nodiscard]] bool root_biconnected_bit(std::size_t ci) const {
+    amem::count_read();
+    return rb_[ci] != 0;
+  }
+
+  /// Rounds each fixpoint took to converge (ablation instrumentation; the
+  /// paper's single-pass rule corresponds to stopping after round 1).
+  [[nodiscard]] std::size_t fixpoint_rounds_bc() const noexcept {
+    return rounds_bc_;
+  }
+  [[nodiscard]] std::size_t fixpoint_rounds_tecc() const noexcept {
+    return rounds_te_;
+  }
+
+  /// Enumerate every articulation point of G exactly once (ascending
+  /// order within each cluster; clusters in index order, then virtual
+  /// components). O(nk) operations, no asymmetric writes.
+  template <typename F>
+  void for_each_articulation(F&& fn) const {
+    for (std::size_t ci = 0; ci < nc_; ++ci) {
+      const LocalView lv = local_view(ci, false, false);
+      for (std::uint32_t mi = 0; mi < lv.members.size(); ++mi) {
+        if (lv.bc.is_artic[mi]) fn(lv.members[mi]);
+      }
+    }
+    // Virtual components: their minimum vertex discovers each exactly once.
+    const std::size_t n = decomp_.graph().num_vertices();
+    for (graph::vertex_id v = 0; v < n; ++v) {
+      const auto r = decomp_.rho(v);
+      if (!r.virtual_center || r.center != v) continue;
+      const VirtualView vv = virtual_view(v);
+      for (std::uint32_t mi = 0; mi < vv.members.size(); ++mi) {
+        if (vv.bc.is_artic[mi]) fn(vv.members[mi]);
+      }
+    }
+  }
+
+ private:
+  using Decomp = decomp::ImplicitDecomposition<G>;
+  using vid = graph::vertex_id;
+  static constexpr vid kNo = graph::kNoVertex;
+  static constexpr std::uint32_t kNone = ~std::uint32_t{0};
+
+  explicit BiconnectivityOracle(Decomp d) : decomp_(std::move(d)) {}
+
+  // ---- construction stages (defined in biconn_oracle_impl.hpp) ----
+  void build_clusters_forest();
+  void build_cluster_labeling(bool parallel);
+  void run_fixpoints(std::size_t max_rounds, bool parallel);
+  void finalize_bits(bool parallel);
+
+  /// Run fn(ci) over clusters, parallel or sequential.
+  template <typename F>
+  void over_clusters(bool parallel, F&& fn) const {
+    if (!parallel || nc_ < 2) {
+      for (std::size_t ci = 0; ci < nc_; ++ci) fn(ci);
+      return;
+    }
+    const std::size_t nb =
+        std::min<std::size_t>(wecc::parallel::num_threads() * 4, nc_);
+    const std::size_t block = (nc_ + nb - 1) / nb;
+    wecc::parallel::detail::run_tasks(nb, [&](std::size_t b) {
+      const std::size_t lo = b * block;
+      const std::size_t hi = std::min(nc_, lo + block);
+      for (std::size_t ci = lo; ci < hi; ++ci) fn(ci);
+    });
+  }
+
+  // ---- local views ----
+  /// A materialized local graph (Definition 4) in symmetric scratch.
+  struct LocalView {
+    primitives::LocalGraph lg{0};
+    std::vector<vid> members;  // global vertex ids; local node i = members[i]
+    std::unordered_map<vid, std::uint32_t> member_idx;
+    std::uint32_t parent_node = kNone;   // local node of the parent outside
+    std::uint32_t parent_edge = kNone;   // local edge of the parent tree edge
+    std::vector<std::uint32_t> child_nodes;  // per child (children order)
+    std::vector<std::uint32_t> child_edges;
+    /// Original (u, w) endpoints per local edge; category-2 edges get
+    /// (kNoVertex, kNoVertex). Lets edge queries find *their* instance.
+    std::vector<std::pair<vid, vid>> edge_origin;
+    primitives::BiconnResult bc;
+  };
+  /// Build the local view of cluster `ci`; `use_tecc_equiv` selects which
+  /// DSU provides the category-2 edges; `extra_lprime` additionally joins
+  /// directions with equal cluster labels (used during fixpoint rounds).
+  [[nodiscard]] LocalView local_view(std::size_t ci, bool use_tecc_equiv,
+                                     bool extra_lprime) const;
+
+  /// Direction of cluster `to` as seen from `from` (adjacent or not):
+  /// index into children list, or kNone meaning the parent direction.
+  [[nodiscard]] std::uint32_t direction_of(std::size_t from,
+                                           std::size_t to) const;
+
+  /// Slot of child cluster `cj` in `ci`'s children list.
+  [[nodiscard]] std::uint32_t child_slot(vid ci, vid cj) const {
+    for (std::uint32_t s = children_off_[ci]; s < children_off_[ci + 1];
+         ++s) {
+      amem::count_read();
+      if (children_[s] == cj) return s - children_off_[ci];
+    }
+    assert(false && "not a child");
+    return kNone;
+  }
+
+  /// Internal-block marking for a local view (see finalize_bits).
+  struct InternalBlocks {
+    std::vector<std::uint8_t> internal;  // per local block id
+    std::uint32_t count = 0;
+  };
+  [[nodiscard]] InternalBlocks internal_blocks(const LocalView& lv) const;
+
+  /// Virtual (< k, centerless) component handling: materialize it fully.
+  struct VirtualView {
+    primitives::LocalGraph lg{0};
+    std::vector<vid> members;
+    std::unordered_map<vid, std::uint32_t> member_idx;
+    primitives::BiconnResult bc;
+    vid comp_min = 0;
+  };
+  [[nodiscard]] VirtualView virtual_view(vid any_member) const;
+
+  // DSU find over clusters-tree edges (read-only at query time).
+  [[nodiscard]] std::uint32_t dsu_find(const std::vector<std::uint32_t>& p,
+                                       std::uint32_t x) const {
+    while (p[x] != x) {
+      amem::count_read();
+      x = p[x];
+    }
+    return x;
+  }
+
+  Decomp decomp_;
+  std::size_t nc_ = 0;  // number of (real) clusters
+
+  // Clusters forest (all indexed by cluster index).
+  std::vector<vid> cparent_;        // parent cluster (self for roots)
+  std::vector<vid> attach_;         // attach vertex in the parent (global)
+  std::vector<vid> croot_;          // cluster root vertex (global)
+  std::vector<std::uint32_t> children_off_;
+  std::vector<vid> children_;
+  primitives::TreeArrays ctree_;
+  primitives::BlockedLca clca_;
+  std::vector<vid> ccomp_;          // forest root per cluster (component)
+
+  // Cluster-level BC labeling of the clusters multigraph.
+  std::vector<std::uint8_t> ccritical_;  // parent edge critical
+  std::vector<std::uint8_t> cdup_parent_;  // parent cluster edge is doubled
+  std::vector<std::uint32_t> lprime_;    // labels after removing critical
+  std::vector<std::uint8_t> cbridge_lvl_;  // cluster-level bridge bit
+  std::vector<std::uint32_t> l2prime_;   // labels after removing cl bridges
+
+  // Fixpoint DSUs over clusters-tree edges (element = non-root cluster).
+  std::vector<std::uint32_t> dsu_bc_;    // biconnectivity equivalence
+  std::vector<std::uint32_t> dsu_te_;    // 2-edge-connectivity equivalence
+  std::size_t rounds_bc_ = 0;            // fixpoint convergence telemetry
+  std::size_t rounds_te_ = 0;
+
+  // Final per-edge bits and indices.
+  std::vector<std::uint8_t> up_ok_;         // block-chains through parent
+  std::vector<std::uint8_t> bridge_up_ok_;  // bridge-free through parent
+  std::vector<std::uint8_t> gbridge_;       // the tree edge is a G-bridge
+  std::vector<std::uint8_t> rb_;            // Definition 5 bit
+  std::vector<std::uint32_t> pref_bad_;     // #!up_ok on path to root
+  std::vector<std::uint32_t> pref_bbad_;    // #!bridge_up_ok on path to root
+  std::vector<std::uint32_t> internal_off_; // prefix of internal block counts
+};
+
+}  // namespace wecc::biconn
+
+#include "biconn/biconn_oracle_impl.hpp"

@@ -1,0 +1,339 @@
+// Implementation of BiconnectivityOracle (included from biconn_oracle.hpp).
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+
+namespace wecc::biconn {
+
+// ---------------------------------------------------------------------------
+// construction
+// ---------------------------------------------------------------------------
+
+template <graph::GraphView G>
+BiconnectivityOracle<G> BiconnectivityOracle<G>::build(
+    const G& g, const BiconnOracleOptions& opt) {
+  decomp::DecompOptions dopt;
+  dopt.k = opt.k;
+  dopt.seed = opt.seed;
+  BiconnectivityOracle o(Decomp::build(g, dopt));
+  o.nc_ = o.decomp_.center_list().size();
+  o.build_clusters_forest();
+  o.build_cluster_labeling(opt.parallel);
+  o.run_fixpoints(opt.max_fixpoint_rounds, opt.parallel);
+  o.finalize_bits(opt.parallel);
+  return o;
+}
+
+template <graph::GraphView G>
+void BiconnectivityOracle<G>::build_clusters_forest() {
+  // Deterministic BFS over the implicit clusters graph, recording the
+  // chosen tree-edge instance per cluster: croot_ (endpoint inside the
+  // cluster — "the head vertex of a cluster is chosen as the cluster root")
+  // and attach_ (endpoint inside the parent). O(n/k) writes, O(nk) reads.
+  const decomp::ClustersGraph<G> cg(decomp_);
+  cparent_.assign(nc_, kNo);
+  attach_.assign(nc_, kNo);
+  croot_.assign(nc_, kNo);
+  ccomp_.assign(nc_, kNo);
+  amem::count_write(nc_);  // the forest arrays below are the O(n/k) state
+
+  std::vector<vid> frontier, next;
+  for (std::size_t r = 0; r < nc_; ++r) {
+    if (cparent_[r] != kNo) continue;
+    cparent_[r] = vid(r);
+    ccomp_[r] = vid(r);
+    frontier.assign(1, vid(r));
+    while (!frontier.empty()) {
+      next.clear();
+      for (const vid ci : frontier) {
+        cg.for_boundary_edges(ci, [&](vid cj, vid u, vid w) {
+          if (cparent_[cj] != kNo) return;
+          cparent_[cj] = ci;
+          attach_[cj] = u;   // in parent cluster ci
+          croot_[cj] = w;    // in child cluster cj — its cluster root
+          ccomp_[cj] = ccomp_[ci];
+          amem::count_write(4);
+          next.push_back(cj);
+        });
+      }
+      frontier.swap(next);
+    }
+  }
+
+  // Children CSR (ascending child index: deterministic slot order).
+  children_off_.assign(nc_ + 1, 0);
+  for (std::size_t c = 0; c < nc_; ++c) {
+    if (cparent_[c] != vid(c)) children_off_[cparent_[c] + 1]++;
+  }
+  for (std::size_t i = 0; i < nc_; ++i) {
+    children_off_[i + 1] += children_off_[i];
+  }
+  children_.resize(children_off_[nc_]);
+  {
+    std::vector<std::uint32_t> cur(children_off_.begin(),
+                                   children_off_.end() - 1);
+    for (std::size_t c = 0; c < nc_; ++c) {
+      if (cparent_[c] != vid(c)) children_[cur[cparent_[c]]++] = vid(c);
+    }
+  }
+  amem::count_write(nc_);
+
+  ctree_ = primitives::build_tree_arrays(cparent_);
+  clca_ = primitives::BlockedLca(ctree_);
+}
+
+template <graph::GraphView G>
+void BiconnectivityOracle<G>::build_cluster_labeling(bool parallel) {
+  // BC labeling of the implicit clusters multigraph against the provenance
+  // forest. The only non-obvious bit is instance-aware tree-edge skipping:
+  // a boundary edge (u, w) from ci to cj is *the* tree instance iff its
+  // endpoints equal the recorded (attach, croot) pair — and only the first
+  // such match per enumeration is skipped (exact duplicates are parallel
+  // edges and count as non-tree).
+  const decomp::ClustersGraph<G> cg(decomp_);
+
+  const auto is_tree_instance = [&](vid ci, vid cj, vid u, vid w) {
+    return (cparent_[cj] == ci && u == attach_[cj] && w == croot_[cj]) ||
+           (cparent_[ci] == cj && u == croot_[ci] && w == attach_[ci]);
+  };
+
+  // w'/W' per cluster, plus parent-edge multiplicities (for the bridge
+  // rule's "only edge connecting" requirement).
+  std::vector<std::uint32_t> wlo(nc_), whi(nc_);
+  cdup_parent_.assign(nc_, 0);
+  over_clusters(parallel, [&](std::size_t ci) {
+    std::uint32_t mn = ctree_.first[ci], mx = ctree_.first[ci];
+    bool skipped_parent = false;
+    std::vector<std::uint8_t> skipped_child(children_off_[ci + 1] -
+                                            children_off_[ci]);
+    std::size_t parent_edges = 0;
+    cg.for_boundary_edges(vid(ci), [&](vid cj, vid u, vid w) {
+      if (cj == cparent_[ci]) ++parent_edges;
+      if (is_tree_instance(vid(ci), cj, u, w)) {
+        if (cparent_[cj] == vid(ci)) {
+          const std::uint32_t slot = child_slot(vid(ci), cj);
+          if (!skipped_child[slot]) {
+            skipped_child[slot] = 1;
+            return;
+          }
+        } else if (!skipped_parent) {
+          skipped_parent = true;
+          return;
+        }
+      }
+      mn = std::min(mn, ctree_.first[cj]);
+      mx = std::max(mx, ctree_.first[cj]);
+    });
+    if (cparent_[ci] != vid(ci) && parent_edges >= 2) cdup_parent_[ci] = 1;
+    wlo[ci] = mn;
+    whi[ci] = mx;
+    amem::count_write(2);
+  });
+
+  const auto low = primitives::leaffix<std::uint32_t>(
+      ctree_, [&](vid c) { return wlo[c]; },
+      [](std::uint32_t a, std::uint32_t b) { return std::min(a, b); });
+  const auto high = primitives::leaffix<std::uint32_t>(
+      ctree_, [&](vid c) { return whi[c]; },
+      [](std::uint32_t a, std::uint32_t b) { return std::max(a, b); });
+
+  ccritical_.assign(nc_, 0);
+  for (std::size_t c = 0; c < nc_; ++c) {
+    const vid p = cparent_[c];
+    if (p == vid(c)) continue;
+    if (ctree_.first[p] <= low[c] && high[c] <= ctree_.last[p]) {
+      ccritical_[c] = 1;
+      amem::count_write();
+    }
+  }
+
+  // Connectivity over the clusters graph minus removed tree edges *and
+  // their parallel duplicates* (footnote-3 rule: every instance between the
+  // two clusters is excluded, else the duplicate reconnects the component
+  // the removal is meant to split), then the same minus cluster-level
+  // bridges (for the 2ecc seed relation).
+  const auto cc_minus = [&](const std::vector<std::uint8_t>& removed) {
+    std::vector<std::uint32_t> label(nc_, kNone);
+    std::vector<vid> frontier, next;
+    std::uint32_t comps = 0;
+    for (std::size_t r = 0; r < nc_; ++r) {
+      if (label[r] != kNone) continue;
+      const std::uint32_t id = comps++;
+      label[r] = id;
+      amem::count_write();
+      frontier.assign(1, vid(r));
+      while (!frontier.empty()) {
+        next.clear();
+        for (const vid ci : frontier) {
+          cg.for_boundary_edges(ci, [&](vid cj, vid, vid) {
+            if ((cparent_[cj] == ci && removed[cj]) ||
+                (cparent_[ci] == cj && removed[ci])) {
+              return;
+            }
+            if (label[cj] == kNone) {
+              label[cj] = id;
+              amem::count_write();
+              next.push_back(cj);
+            }
+          });
+        }
+        frontier.swap(next);
+      }
+    }
+    return label;
+  };
+
+  lprime_ = cc_minus(ccritical_);
+  // Component sizes of l' comps -> cluster-level bridges (singleton rule).
+  std::vector<std::uint32_t> size(nc_, 0);
+  for (std::size_t c = 0; c < nc_; ++c) size[lprime_[c]]++;
+  cbridge_lvl_.assign(nc_, 0);
+  for (std::size_t c = 0; c < nc_; ++c) {
+    if (cparent_[c] != vid(c) && ccritical_[c] && size[lprime_[c]] == 1 &&
+        !cdup_parent_[c]) {
+      cbridge_lvl_[c] = 1;
+      amem::count_write();
+    }
+  }
+  l2prime_ = cc_minus(cbridge_lvl_);
+}
+
+template <graph::GraphView G>
+void BiconnectivityOracle<G>::run_fixpoints(std::size_t max_rounds,
+                                            bool parallel) {
+  dsu_bc_.resize(nc_);
+  dsu_te_.resize(nc_);
+  for (std::size_t i = 0; i < nc_; ++i) dsu_bc_[i] = std::uint32_t(i);
+  amem::count_write(nc_);
+
+  const auto unite = [&](std::vector<std::uint32_t>& p, std::uint32_t a,
+                         std::uint32_t b) {
+    a = dsu_find(p, a);
+    b = dsu_find(p, b);
+    if (a == b) return false;
+    p[std::max(a, b)] = std::min(a, b);
+    amem::count_write();
+    return true;
+  };
+
+  // One fixpoint pass: group each cluster's incident tree edges by their
+  // local block (tecc class for the 2ecc variant) and union within groups.
+  // Jacobi discipline: local views read the round-start DSU (no writes
+  // happen during collection, so the parallel pass is race-free); the
+  // collected merge pairs apply afterwards in cluster order.
+  const auto sweep = [&](std::vector<std::uint32_t>& dsu, bool tecc) {
+    std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>>
+        pairs(nc_);
+    over_clusters(parallel, [&](std::size_t ci) {
+      const LocalView lv = local_view(ci, tecc, /*extra_lprime=*/true);
+      // (element, group key): key = local block of the edge instance, or
+      // tecc class of the outside node for the 2ecc relation (guarded by
+      // the edge not being a local bridge).
+      std::unordered_map<std::uint32_t, std::uint32_t> rep;  // key -> elem
+      const auto consider = [&](std::uint32_t elem, std::uint32_t edge,
+                                std::uint32_t node) {
+        std::uint32_t key;
+        if (tecc) {
+          if (lv.bc.is_bridge[edge]) return;  // bridges chain nothing
+          key = lv.bc.tecc_label[node];
+        } else {
+          key = lv.bc.edge_bcc[edge];
+          if (key == primitives::BiconnResult::kNone) return;
+        }
+        const auto [it, fresh] = rep.emplace(key, elem);
+        if (!fresh) pairs[ci].push_back({it->second, elem});
+      };
+      if (cparent_[ci] != vid(ci)) {
+        consider(std::uint32_t(ci), lv.parent_edge, lv.parent_node);
+      }
+      const std::uint32_t nch = children_off_[ci + 1] - children_off_[ci];
+      for (std::uint32_t s = 0; s < nch; ++s) {
+        consider(std::uint32_t(children_[children_off_[ci] + s]),
+                 lv.child_edges[s], lv.child_nodes[s]);
+      }
+    });
+    bool changed = false;
+    for (const auto& pc : pairs) {
+      for (const auto& [a, b] : pc) changed |= unite(dsu, a, b);
+    }
+    return changed;
+  };
+
+  rounds_bc_ = 1;
+  while (sweep(dsu_bc_, false)) {
+    if (++rounds_bc_ > max_rounds) {
+      assert(false && "biconnectivity fixpoint failed to converge");
+      break;
+    }
+  }
+  // Seed the 2ecc relation from the (finer) biconnectivity one.
+  for (std::size_t i = 0; i < nc_; ++i) {
+    dsu_te_[i] = dsu_find(dsu_bc_, std::uint32_t(i));
+  }
+  amem::count_write(nc_);
+  rounds_te_ = 1;
+  while (sweep(dsu_te_, true)) {
+    if (++rounds_te_ > max_rounds) {
+      assert(false && "2ecc fixpoint failed to converge");
+      break;
+    }
+  }
+}
+
+template <graph::GraphView G>
+void BiconnectivityOracle<G>::finalize_bits(bool parallel) {
+  up_ok_.assign(nc_, 1);
+  bridge_up_ok_.assign(nc_, 1);
+  gbridge_.assign(nc_, 0);
+  rb_.assign(nc_, 1);
+  internal_off_.assign(nc_ + 1, 0);
+
+  over_clusters(parallel, [&](std::size_t ci) {
+    const LocalView lvb = local_view(ci, false, false);
+    const LocalView lvt = local_view(ci, true, false);
+    const bool has_parent = cparent_[ci] != vid(ci);
+    const std::uint32_t root_idx =
+        has_parent ? lvb.member_idx.at(croot_[ci]) : kNone;
+    const std::uint32_t nch = children_off_[ci + 1] - children_off_[ci];
+    for (std::uint32_t s = 0; s < nch; ++s) {
+      const std::uint32_t d = children_[children_off_[ci] + s];
+      if (has_parent) {
+        up_ok_[d] = lvb.bc.edge_bcc[lvb.child_edges[s]] ==
+                    lvb.bc.edge_bcc[lvb.parent_edge];
+        bridge_up_ok_[d] = lvt.bc.tecc_label[lvt.child_nodes[s]] ==
+                           lvt.bc.tecc_label[lvt.parent_node];
+        rb_[d] = lvb.bc.same_bcc(lvb.lg, lvb.child_nodes[s], root_idx);
+      }
+      gbridge_[d] = lvt.bc.is_bridge[lvt.child_edges[s]];
+    }
+    amem::count_write(4 * nch + 1);
+
+    // Internal blocks: local blocks none of whose edges touch an outside
+    // node (Lemma 5.7: everything else is biconnected with an outside
+    // vertex and therefore named at the clusters level).
+    internal_off_[ci + 1] = internal_blocks(lvb).count;
+  });
+  for (std::size_t i = 0; i < nc_; ++i) {
+    internal_off_[i + 1] += internal_off_[i];
+  }
+  amem::count_write(nc_);
+
+  // Prefix bad counts over the clusters forest (rootfix).
+  const auto pb = primitives::rootfix<std::uint32_t>(
+      ctree_, [](vid) { return 0u; },
+      [&](std::uint32_t acc, vid d) { return acc + (up_ok_[d] ? 0 : 1); });
+  const auto pbb = primitives::rootfix<std::uint32_t>(
+      ctree_, [](vid) { return 0u; },
+      [&](std::uint32_t acc, vid d) {
+        return acc + (bridge_up_ok_[d] ? 0 : 1);
+      });
+  pref_bad_.assign(pb.begin(), pb.end());
+  pref_bbad_.assign(pbb.begin(), pbb.end());
+  amem::count_write(2 * nc_);
+}
+
+}  // namespace wecc::biconn
+
+#include "biconn/biconn_oracle_views.hpp"
+#include "biconn/biconn_oracle_queries.hpp"

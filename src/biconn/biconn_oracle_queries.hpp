@@ -1,0 +1,273 @@
+// Query implementations for BiconnectivityOracle.
+// Included from biconn_oracle_impl.hpp.
+#pragma once
+
+namespace wecc::biconn {
+
+template <graph::GraphView G>
+graph::vertex_id BiconnectivityOracle<G>::component_of(
+    graph::vertex_id v) const {
+  const auto r = decomp_.rho(v);
+  if (r.virtual_center) return r.center;
+  amem::count_read(2);
+  return decomp_.center_list()[ccomp_[decomp_.center_index(r.center)]];
+}
+
+template <graph::GraphView G>
+bool BiconnectivityOracle<G>::is_articulation(graph::vertex_id v) const {
+  const auto r = decomp_.rho(v);
+  if (r.virtual_center) {
+    const VirtualView vv = virtual_view(v);
+    return vv.bc.is_artic[vv.member_idx.at(v)] != 0;
+  }
+  const std::size_t ci = decomp_.center_index(r.center);
+  const LocalView lv = local_view(ci, false, false);
+  return lv.bc.is_artic[lv.member_idx.at(v)] != 0;
+}
+
+template <graph::GraphView G>
+bool BiconnectivityOracle<G>::is_bridge(graph::vertex_id u,
+                                        graph::vertex_id v) const {
+  if (u == v) return false;
+  const auto ru = decomp_.rho(u);
+  const auto rv = decomp_.rho(v);
+  if (ru.virtual_center || rv.virtual_center) {
+    if (!ru.virtual_center || !rv.virtual_center || ru.center != rv.center) {
+      return false;  // different components: not even an edge
+    }
+    const VirtualView vv = virtual_view(u);
+    const std::uint32_t ui = vv.member_idx.at(u), vi = vv.member_idx.at(v);
+    for (const auto& [w, e] : vv.lg.adj[ui]) {
+      if (w == vi) return vv.bc.is_bridge[e] != 0;  // doubled => 0 anyway
+    }
+    return false;
+  }
+  const std::size_t cu = decomp_.center_index(ru.center);
+  const std::size_t cv = decomp_.center_index(rv.center);
+  if (cu == cv) {
+    const LocalView lv = local_view(cu, true, false);
+    const std::uint32_t ui = lv.member_idx.at(u), vi = lv.member_idx.at(v);
+    for (const auto& [w, e] : lv.lg.adj[ui]) {
+      if (w == vi) return lv.bc.is_bridge[e] != 0;
+    }
+    return false;
+  }
+  // Clusters-tree edge instance? (Everything else crossing clusters is a
+  // cross or parallel edge, never a bridge.)
+  amem::count_read(4);
+  if (cparent_[cv] == vid(cu) && attach_[cv] == u && croot_[cv] == v) {
+    return gbridge_[cv] != 0;
+  }
+  if (cparent_[cu] == vid(cv) && attach_[cu] == v && croot_[cu] == u) {
+    return gbridge_[cu] != 0;
+  }
+  return false;
+}
+
+template <graph::GraphView G>
+bool BiconnectivityOracle<G>::biconnected(graph::vertex_id u,
+                                          graph::vertex_id v) const {
+  if (u == v) return true;
+  const auto ru = decomp_.rho(u);
+  const auto rv = decomp_.rho(v);
+  if (ru.virtual_center || rv.virtual_center) {
+    if (!ru.virtual_center || !rv.virtual_center || ru.center != rv.center) {
+      return false;
+    }
+    const VirtualView vv = virtual_view(u);
+    return vv.bc.same_bcc(vv.lg, vv.member_idx.at(u), vv.member_idx.at(v));
+  }
+  const std::size_t cu = decomp_.center_index(ru.center);
+  const std::size_t cv = decomp_.center_index(rv.center);
+  if (cu == cv) {
+    const LocalView lv = local_view(cu, false, false);
+    return lv.bc.same_bcc(lv.lg, lv.member_idx.at(u), lv.member_idx.at(v));
+  }
+  amem::count_read(2);
+  if (ccomp_[cu] != ccomp_[cv]) return false;
+  const vid L = clca_.lca(vid(cu), vid(cv));
+
+  // Leg from an end cluster up to (excluding) L: the end cluster's own
+  // block check plus the O(1) middle-cluster certificate.
+  const auto leg = [&](std::size_t cend,
+                       graph::vertex_id vert) -> std::pair<bool, vid> {
+    if (cend == std::size_t(L)) return {true, kNo};
+    const LocalView lv = local_view(cend, false, false);
+    if (!lv.bc.vertex_in_block(lv.lg, lv.member_idx.at(vert),
+                               lv.parent_edge)) {
+      return {false, kNo};
+    }
+    const vid child_of_l =
+        clca_.ancestor_at_depth(vid(cend), ctree_.depth[L] + 1);
+    amem::count_read(2);
+    if (pref_bad_[cend] - pref_bad_[child_of_l] != 0) return {false, kNo};
+    return {true, child_of_l};
+  };
+  const auto [ok1, d1] = leg(cu, u);
+  if (!ok1) return false;
+  const auto [ok2, d2] = leg(cv, v);
+  if (!ok2) return false;
+
+  const LocalView lvL = local_view(std::size_t(L), false, false);
+  const auto edge_of = [&](vid d) {
+    return lvL.child_edges[child_slot(L, d)];
+  };
+  if (cu == std::size_t(L)) {
+    return lvL.bc.vertex_in_block(lvL.lg, lvL.member_idx.at(u),
+                                  edge_of(d2));
+  }
+  if (cv == std::size_t(L)) {
+    return lvL.bc.vertex_in_block(lvL.lg, lvL.member_idx.at(v),
+                                  edge_of(d1));
+  }
+  const auto b1 = lvL.bc.edge_bcc[edge_of(d1)];
+  return b1 != primitives::BiconnResult::kNone &&
+         b1 == lvL.bc.edge_bcc[edge_of(d2)];
+}
+
+template <graph::GraphView G>
+bool BiconnectivityOracle<G>::two_edge_connected(graph::vertex_id u,
+                                                 graph::vertex_id v) const {
+  if (u == v) return true;
+  const auto ru = decomp_.rho(u);
+  const auto rv = decomp_.rho(v);
+  if (ru.virtual_center || rv.virtual_center) {
+    if (!ru.virtual_center || !rv.virtual_center || ru.center != rv.center) {
+      return false;
+    }
+    const VirtualView vv = virtual_view(u);
+    return vv.bc.two_edge_connected(vv.member_idx.at(u),
+                                    vv.member_idx.at(v));
+  }
+  const std::size_t cu = decomp_.center_index(ru.center);
+  const std::size_t cv = decomp_.center_index(rv.center);
+  if (cu == cv) {
+    const LocalView lv = local_view(cu, true, false);
+    return lv.bc.two_edge_connected(lv.member_idx.at(u),
+                                    lv.member_idx.at(v));
+  }
+  amem::count_read(2);
+  if (ccomp_[cu] != ccomp_[cv]) return false;
+  const vid L = clca_.lca(vid(cu), vid(cv));
+
+  const auto leg = [&](std::size_t cend,
+                       graph::vertex_id vert) -> std::pair<bool, vid> {
+    if (cend == std::size_t(L)) return {true, kNo};
+    const LocalView lv = local_view(cend, true, false);
+    if (lv.bc.tecc_label[lv.member_idx.at(vert)] !=
+        lv.bc.tecc_label[lv.parent_node]) {
+      return {false, kNo};
+    }
+    const vid child_of_l =
+        clca_.ancestor_at_depth(vid(cend), ctree_.depth[L] + 1);
+    amem::count_read(2);
+    if (pref_bbad_[cend] - pref_bbad_[child_of_l] != 0) return {false, kNo};
+    return {true, child_of_l};
+  };
+  const auto [ok1, d1] = leg(cu, u);
+  if (!ok1) return false;
+  const auto [ok2, d2] = leg(cv, v);
+  if (!ok2) return false;
+
+  const LocalView lvL = local_view(std::size_t(L), true, false);
+  const auto node_of = [&](vid d) {
+    return lvL.child_nodes[child_slot(L, d)];
+  };
+  if (cu == std::size_t(L)) {
+    return lvL.bc.tecc_label[lvL.member_idx.at(u)] ==
+           lvL.bc.tecc_label[node_of(d2)];
+  }
+  if (cv == std::size_t(L)) {
+    return lvL.bc.tecc_label[lvL.member_idx.at(v)] ==
+           lvL.bc.tecc_label[node_of(d1)];
+  }
+  return lvL.bc.tecc_label[node_of(d1)] == lvL.bc.tecc_label[node_of(d2)];
+}
+
+template <graph::GraphView G>
+std::optional<BccId> BiconnectivityOracle<G>::edge_bcc(
+    graph::vertex_id u, graph::vertex_id v) const {
+  if (u == v) return std::nullopt;  // self-loops belong to no block
+  const auto ru = decomp_.rho(u);
+  const auto rv = decomp_.rho(v);
+  if (ru.virtual_center || rv.virtual_center) {
+    if (!ru.virtual_center || !rv.virtual_center || ru.center != rv.center) {
+      return std::nullopt;
+    }
+    const VirtualView vv = virtual_view(u);
+    const std::uint32_t ui = vv.member_idx.at(u), vi = vv.member_idx.at(v);
+    for (const auto& [w, e] : vv.lg.adj[ui]) {
+      if (w == vi) {
+        return BccId{BccId::Kind::kVirtual,
+                     (std::uint64_t(vv.comp_min) << 20) |
+                         vv.bc.edge_bcc[e]};
+      }
+    }
+    return std::nullopt;
+  }
+  const std::size_t cu = decomp_.center_index(ru.center);
+  const std::size_t cv = decomp_.center_index(rv.center);
+
+  const auto spanning = [&](std::uint32_t elem) {
+    return BccId{BccId::Kind::kSpanning, dsu_find(dsu_bc_, elem)};
+  };
+
+  if (cu != cv) {
+    amem::count_read(4);
+    if (cparent_[cv] == vid(cu) && attach_[cv] == u && croot_[cv] == v) {
+      return spanning(std::uint32_t(cv));
+    }
+    if (cparent_[cu] == vid(cv) && attach_[cu] == v && croot_[cu] == u) {
+      return spanning(std::uint32_t(cu));
+    }
+    // Cross edge: resolve through u's local view; its block necessarily
+    // meets a clusters-tree edge of cu (the tree path to v crosses one).
+    const LocalView lv = local_view(cu, false, false);
+    const std::uint32_t ui = lv.member_idx.at(u);
+    for (const auto& [w, e] : lv.lg.adj[ui]) {
+      (void)w;
+      if (lv.edge_origin[e] != std::make_pair(u, v)) continue;
+      const auto b = lv.bc.edge_bcc[e];
+      if (lv.parent_edge != kNone && b == lv.bc.edge_bcc[lv.parent_edge]) {
+        return spanning(std::uint32_t(cu));
+      }
+      for (std::uint32_t sl = 0; sl < lv.child_edges.size(); ++sl) {
+        if (b == lv.bc.edge_bcc[lv.child_edges[sl]]) {
+          return spanning(children_[children_off_[cu] + sl]);
+        }
+      }
+      assert(false && "cross edge block met no clusters-tree edge");
+      return std::optional<BccId>{};
+    }
+    return std::nullopt;  // not an edge of G
+  }
+
+  // Intra-cluster edge.
+  const LocalView lv = local_view(cu, false, false);
+  const std::uint32_t ui = lv.member_idx.at(u);
+  for (const auto& [w, e] : lv.lg.adj[ui]) {
+    (void)w;
+    if (lv.edge_origin[e] != std::make_pair(std::min(u, v), std::max(u, v)))
+      continue;
+    const auto b = lv.bc.edge_bcc[e];
+    if (b == primitives::BiconnResult::kNone) continue;
+    if (lv.parent_edge != kNone && b == lv.bc.edge_bcc[lv.parent_edge]) {
+      return spanning(std::uint32_t(cu));
+    }
+    for (std::uint32_t sl = 0; sl < lv.child_edges.size(); ++sl) {
+      if (b == lv.bc.edge_bcc[lv.child_edges[sl]]) {
+        return spanning(children_[children_off_[cu] + sl]);
+      }
+    }
+    // Internal block (Lemma 5.7): per-cluster offset + local rank.
+    const InternalBlocks ib = internal_blocks(lv);
+    assert(ib.internal[b]);
+    std::uint32_t rank = 0;
+    for (std::uint32_t j = 0; j < b; ++j) rank += ib.internal[j];
+    amem::count_read(2);
+    return BccId{BccId::Kind::kInternal, internal_off_[cu] + rank};
+  }
+  return std::nullopt;  // not an edge of G
+}
+
+}  // namespace wecc::biconn

@@ -1,0 +1,223 @@
+// Local-graph construction for BiconnectivityOracle (Definition 4).
+// Included from biconn_oracle_impl.hpp.
+#pragma once
+
+namespace wecc::biconn {
+
+template <graph::GraphView G>
+std::uint32_t BiconnectivityOracle<G>::direction_of(std::size_t from,
+                                                    std::size_t to) const {
+  amem::count_read(2);
+  if (ctree_.is_ancestor(vid(from), vid(to))) {
+    // The child of `from` whose subtree holds `to`.
+    const vid d = clca_.ancestor_at_depth(vid(to), ctree_.depth[from] + 1);
+    return child_slot(vid(from), d);
+  }
+  return kNone;  // parent direction
+}
+
+template <graph::GraphView G>
+typename BiconnectivityOracle<G>::LocalView
+BiconnectivityOracle<G>::local_view(std::size_t ci, bool use_tecc_equiv,
+                                    bool extra_lprime) const {
+  LocalView lv;
+  const vid s = decomp_.center_list()[ci];
+  amem::count_read();
+  const decomp::ClusterInfo c = decomp_.cluster(s);
+  lv.members = c.members;
+  amem::SymScratch scratch(4 * lv.members.size() + 8);
+  for (std::uint32_t i = 0; i < lv.members.size(); ++i) {
+    lv.member_idx.emplace(lv.members[i], i);
+  }
+
+  const bool has_parent = cparent_[ci] != vid(ci);
+  const std::uint32_t nch = children_off_[ci + 1] - children_off_[ci];
+  const std::uint32_t nm = std::uint32_t(lv.members.size());
+  lv.lg = primitives::LocalGraph(nm + (has_parent ? 1 : 0) + nch);
+  if (has_parent) lv.parent_node = nm;
+  lv.child_nodes.resize(nch);
+  lv.child_edges.assign(nch, kNone);
+  for (std::uint32_t sl = 0; sl < nch; ++sl) {
+    lv.child_nodes[sl] = nm + (has_parent ? 1 : 0) + sl;
+  }
+
+  // Attach-vertex lookup for fast tree-instance detection: child slots
+  // grouped by their attach vertex in this cluster.
+  std::unordered_map<vid, std::vector<std::uint32_t>> attach_slots;
+  for (std::uint32_t sl = 0; sl < nch; ++sl) {
+    attach_slots[attach_[children_[children_off_[ci] + sl]]].push_back(sl);
+  }
+  std::vector<std::uint8_t> child_used(nch, 0);
+  bool parent_used = false;
+
+  const auto add_edge = [&](std::uint32_t a, std::uint32_t b, vid ou,
+                            vid ow) {
+    const std::uint32_t e = lv.lg.add_edge(a, b);
+    lv.edge_origin.push_back({ou, ow});
+    return e;
+  };
+
+  // Categories 1 (intra + tree edges) and 3 (redirected boundary edges).
+  std::vector<vid> nbrs;
+  for (std::uint32_t mi = 0; mi < nm; ++mi) {
+    const vid u = lv.members[mi];
+    nbrs.clear();
+    decomp_.graph().for_neighbors(u, [&](vid w) { nbrs.push_back(w); });
+    std::sort(nbrs.begin(), nbrs.end());
+    for (const vid w : nbrs) {
+      if (w == u) continue;  // self-loops are biconnectivity-inert
+      const auto mit = lv.member_idx.find(w);
+      if (mit != lv.member_idx.end()) {
+        if (w > u) add_edge(mi, mit->second, u, w);  // one side adds
+        continue;
+      }
+      // Boundary instance. The chosen tree instances become edges to their
+      // outside nodes; everything else is category 3 (redirected).
+      if (has_parent && !parent_used && u == croot_[ci] &&
+          w == attach_[ci]) {
+        parent_used = true;
+        lv.parent_edge = add_edge(mi, lv.parent_node, u, w);
+        continue;
+      }
+      bool was_tree_child = false;
+      if (const auto it = attach_slots.find(u); it != attach_slots.end()) {
+        for (const std::uint32_t sl : it->second) {
+          const vid d = children_[children_off_[ci] + sl];
+          if (!child_used[sl] && w == croot_[d]) {
+            child_used[sl] = 1;
+            lv.child_edges[sl] = add_edge(mi, lv.child_nodes[sl], u, w);
+            was_tree_child = true;
+            break;
+          }
+        }
+      }
+      if (was_tree_child) continue;
+      // Category 3: redirect to the outside node toward rho(w)'s cluster.
+      const decomp::RhoResult rw = decomp_.rho(w);
+      const std::size_t ce = decomp_.center_index(rw.center);
+      const std::uint32_t dir = direction_of(ci, ce);
+      const std::uint32_t node =
+          dir == kNone ? lv.parent_node : lv.child_nodes[dir];
+      assert(node != kNone);
+      add_edge(mi, node, u, w);
+    }
+  }
+  assert(!has_parent || lv.parent_edge != kNone);
+
+  // Category 2: chain outside nodes of equivalent directions. Directions
+  // carry their clusters-tree edge element: child slot sl -> child cluster,
+  // parent direction -> this cluster. Equivalence = same DSU class, plus
+  // (during fixpoint rounds) equal cluster-level labels.
+  {
+    const auto& dsu = use_tecc_equiv ? dsu_te_ : dsu_bc_;
+    const auto& lp = use_tecc_equiv ? l2prime_ : lprime_;
+    struct Dir {
+      std::uint32_t node;
+      std::uint32_t elem;   // clusters-tree edge element (cluster index)
+      std::uint32_t label;  // cluster-level label (kNone: joins nothing)
+    };
+    // Label semantics: for biconnectivity, l'(elem) is by BC-labeling
+    // construction the cluster-level block of that tree *edge*. For
+    // 2-edge-connectivity, l2' labels *clusters*, so a tree edge only
+    // inherits its endpoint's label if it is not itself a cluster-level
+    // bridge (a bridge lies on no cycle and must never join a group).
+    const auto label_of = [&](std::uint32_t elem) {
+      if (use_tecc_equiv && cbridge_lvl_[elem]) return kNone;
+      return lp[elem];
+    };
+    std::vector<Dir> dirs;
+    if (has_parent) {
+      dirs.push_back({lv.parent_node, std::uint32_t(ci),
+                      label_of(std::uint32_t(ci))});
+    }
+    for (std::uint32_t sl = 0; sl < nch; ++sl) {
+      const std::uint32_t d = children_[children_off_[ci] + sl];
+      dirs.push_back({lv.child_nodes[sl], d, label_of(d)});
+    }
+    // Group by DSU class (and label when extra_lprime): tiny DSU on dirs.
+    std::vector<std::uint32_t> gp(dirs.size());
+    for (std::uint32_t i = 0; i < dirs.size(); ++i) gp[i] = i;
+    const auto gfind = [&](std::uint32_t x) {
+      while (gp[x] != x) x = gp[x] = gp[gp[x]];
+      return x;
+    };
+    std::unordered_map<std::uint32_t, std::uint32_t> by_dsu, by_label;
+    for (std::uint32_t i = 0; i < dirs.size(); ++i) {
+      const auto cls = dsu_find(dsu, dirs[i].elem);
+      if (const auto [it, fresh] = by_dsu.emplace(cls, i); !fresh) {
+        gp[gfind(i)] = gfind(it->second);
+      }
+      if (extra_lprime && dirs[i].label != kNone) {
+        if (const auto [it, fresh] = by_label.emplace(dirs[i].label, i);
+            !fresh) {
+          gp[gfind(i)] = gfind(it->second);
+        }
+      }
+    }
+    std::unordered_map<std::uint32_t, std::uint32_t> prev_in_group;
+    for (std::uint32_t i = 0; i < dirs.size(); ++i) {
+      const auto gruop = gfind(i);
+      const auto [it, fresh] = prev_in_group.emplace(gruop, i);
+      if (!fresh) {
+        add_edge(dirs[it->second].node, dirs[i].node, kNo, kNo);
+        it->second = i;  // chain: c-1 edges for c directions
+      }
+    }
+  }
+
+  lv.bc = primitives::biconnectivity(lv.lg);
+  return lv;
+}
+
+template <graph::GraphView G>
+typename BiconnectivityOracle<G>::InternalBlocks
+BiconnectivityOracle<G>::internal_blocks(const LocalView& lv) const {
+  InternalBlocks ib;
+  ib.internal.assign(lv.bc.num_bcc, 1);
+  const std::uint32_t nm = std::uint32_t(lv.members.size());
+  for (std::uint32_t e = 0; e < lv.lg.num_edges(); ++e) {
+    const auto b = lv.bc.edge_bcc[e];
+    if (b == primitives::BiconnResult::kNone) continue;
+    const auto [x, y] = lv.lg.edges[e];
+    if (x >= nm || y >= nm) ib.internal[b] = 0;  // touches an outside node
+  }
+  for (const auto f : ib.internal) ib.count += f;
+  return ib;
+}
+
+template <graph::GraphView G>
+typename BiconnectivityOracle<G>::VirtualView
+BiconnectivityOracle<G>::virtual_view(vid any_member) const {
+  VirtualView vv;
+  // Exhaustive BFS (component size < k by construction).
+  std::vector<vid> frontier{any_member};
+  vv.member_idx.emplace(any_member, 0);
+  vv.members.push_back(any_member);
+  amem::SymScratch scratch(2);
+  while (!frontier.empty()) {
+    std::vector<vid> next;
+    for (const vid u : frontier) {
+      decomp_.graph().for_neighbors(u, [&](vid w) {
+        if (vv.member_idx.emplace(w, std::uint32_t(vv.members.size()))
+                .second) {
+          vv.members.push_back(w);
+          scratch.grow(2);
+          next.push_back(w);
+        }
+      });
+    }
+    frontier.swap(next);
+  }
+  vv.comp_min = *std::min_element(vv.members.begin(), vv.members.end());
+  vv.lg = primitives::LocalGraph(vv.members.size());
+  for (std::uint32_t mi = 0; mi < vv.members.size(); ++mi) {
+    const vid u = vv.members[mi];
+    decomp_.graph().for_neighbors(u, [&](vid w) {
+      if (w > u) vv.lg.add_edge(mi, vv.member_idx.at(w));
+    });
+  }
+  vv.bc = primitives::biconnectivity(vv.lg);
+  return vv;
+}
+
+}  // namespace wecc::biconn

@@ -1,0 +1,37 @@
+// §5.1: the classic biconnectivity output — an m-sized array mapping every
+// edge to its biconnected component [21, 32], computed Tarjan–Vishkin style
+// (spanning tree + Euler tour + low/high + connectivity).
+//
+// This is the "prior work" row of Table 1 for biconnectivity: materializing
+// the per-edge array costs Theta(m) asymmetric writes, hence Theta(omega m)
+// work — the cost the BC labeling of §5.2 avoids. The internal machinery is
+// shared with BcLabeling (the two differ exactly and only in output
+// representation, which is the paper's point).
+#pragma once
+
+#include "biconn/bc_labeling.hpp"
+
+namespace wecc::biconn {
+
+struct ClassicBiconnOutput {
+  /// edge_labels[i] = BCC of g.edge_list()[i] (kNoComp for self-loops).
+  std::vector<std::uint32_t> edge_labels;
+  std::size_t num_bcc = 0;
+};
+
+inline ClassicBiconnOutput tarjan_vishkin(const graph::Graph& g,
+                                          const BcOptions& opt = {}) {
+  const BcLabeling bc = BcLabeling::build(g, opt);
+  ClassicBiconnOutput out;
+  out.num_bcc = bc.num_bcc();
+  const auto edges = g.edge_list();
+  out.edge_labels.reserve(edges.size());
+  for (const auto& e : edges) {
+    out.edge_labels.push_back(e.u == e.v ? BcLabeling::kNoComp
+                                         : bc.edge_label(e.u, e.v));
+    amem::count_write();  // the Theta(m)-write output array
+  }
+  return out;
+}
+
+}  // namespace wecc::biconn

@@ -1,0 +1,138 @@
+// §6, biconnectivity side: answering biconnectivity queries about an
+// unbounded-degree graph G through its implicit bounded-degree
+// virtualization G' (graph::VGraph).
+//
+// What the transform preserves — established here empirically and matching
+// the paper's carefully scoped §6 claim ("this will not change the
+// biconnectivity property *within* a biconnected component"):
+//
+//  EXACT:
+//  * connectivity (virtual trees hang off their vertex);
+//  * bridges: a G-edge is a bridge <=> its leaf-to-leaf image is a bridge
+//    of G' (a cycle through the edge lifts; a simple G'-cycle through the
+//    image projects to a simple G-cycle);
+//  * 2-edge-connectivity of vertex pairs (components minus bridges, with
+//    bridges resolved through images).
+//
+//  ONE-SIDED (image blocks are a *coarsening* of G's blocks):
+//  * every G-block maps inside one G'-block (cycles lift), but two
+//    distinct G-blocks meeting at a high-degree vertex can merge in G' —
+//    their lifted cycles may share edges of the virtual tree. Hence:
+//      - same_bcc()==false        certifies NOT biconnected in G;
+//      - is_articulation()==true  certifies an articulation point of G;
+//    the converses can over-approximate. vgraph_biconn_test pins down
+//    both directions. Exact pair-biconnectivity on unbounded-degree
+//    graphs therefore needs a different route than the static virtual
+//    tree (a finding of this reproduction; see EXPERIMENTS.md).
+//
+// The adapter runs the §5.2 BC labeling on the virtualized view, so it
+// stays write-efficient (O(N + M/omega) for the virtual sizes N, M = O(m)).
+#pragma once
+
+#include "biconn/bc_labeling.hpp"
+#include "graph/vgraph.hpp"
+#include "primitives/union_find.hpp"
+
+namespace wecc::biconn {
+
+class VGraphBiconnectivity {
+ public:
+  VGraphBiconnectivity(const graph::Graph& g, const graph::VGraph& vg,
+                       const BcOptions& opt = {})
+      : vg_(&vg), bc_(BcLabeling::build(vg, opt)) {
+    // 2-edge-connected classes of *original* vertices: components of G
+    // minus its bridges (bridges determined through images). The vertex
+    // tecc labels of G' itself are not usable here: a virtual tree edge
+    // can be a G'-bridge even when no G-bridge exists near it.
+    primitives::UnionFind uf(g.num_vertices());
+    for (graph::vertex_id u = 0; u < g.num_vertices(); ++u) {
+      const auto nb = g.neighbors_raw(u);
+      amem::count_read(1 + nb.size());
+      for (std::size_t p = 0; p < nb.size(); ++p) {
+        if (nb[p] < u) continue;  // one orientation suffices
+        const auto [a, b] = vg.edge_image(u, p);
+        if (a == b) continue;
+        if (!bc_.is_bridge(vg, a, b)) uf.unite(u, nb[p]);
+      }
+    }
+    orig_tecc_.resize(g.num_vertices());
+    for (graph::vertex_id v = 0; v < g.num_vertices(); ++v) {
+      orig_tecc_[v] = uf.find(v);
+      amem::count_write();
+    }
+  }
+
+  [[nodiscard]] const BcLabeling& labeling() const noexcept { return bc_; }
+
+  /// BCC label (in G) of the arc at position `pos` of u's adjacency.
+  [[nodiscard]] std::uint32_t edge_label(graph::vertex_id u,
+                                         std::size_t pos) const {
+    const auto [a, b] = vg_->edge_image(u, pos);
+    return a == b ? BcLabeling::kNoComp : bc_.edge_label(a, b);
+  }
+
+  /// Is the G-edge instance at arc position `pos` of u a bridge of G?
+  [[nodiscard]] bool is_bridge(const graph::Graph& g, graph::vertex_id u,
+                               std::size_t pos) const {
+    const auto [a, b] = vg_->edge_image(u, pos);
+    (void)g;
+    return a != b && bc_.is_bridge(*vg_, a, b);
+  }
+
+  /// One-sided articulation test: true certifies v is an articulation
+  /// point of G; false means "not separable at image-block granularity".
+  [[nodiscard]] bool is_articulation(const graph::Graph& g,
+                                     graph::vertex_id v) const {
+    std::uint32_t first_label = BcLabeling::kNoComp;
+    bool two = false;
+    for_incident_labels(g, v, [&](std::uint32_t l) {
+      if (first_label == BcLabeling::kNoComp) {
+        first_label = l;
+      } else if (l != first_label) {
+        two = true;
+      }
+    });
+    return two;
+  }
+
+  /// One-sided pair test: false certifies u and v share no biconnected
+  /// component of G. O(deg(u) log deg(u) + deg(v)).
+  [[nodiscard]] bool same_bcc(const graph::Graph& g, graph::vertex_id u,
+                              graph::vertex_id v) const {
+    if (u == v) return g.degree_raw(u) > 0;
+    std::vector<std::uint32_t> lu;
+    for_incident_labels(g, u, [&](std::uint32_t l) { lu.push_back(l); });
+    std::sort(lu.begin(), lu.end());
+    bool hit = false;
+    for_incident_labels(g, v, [&](std::uint32_t l) {
+      hit = hit || std::binary_search(lu.begin(), lu.end(), l);
+    });
+    return hit;
+  }
+
+  /// Are u and v 2-edge-connected in G (connected avoiding G's bridges)?
+  [[nodiscard]] bool two_edge_connected(graph::vertex_id u,
+                                        graph::vertex_id v) const {
+    amem::count_read(2);
+    return orig_tecc_[u] == orig_tecc_[v];
+  }
+
+ private:
+  template <typename F>
+  void for_incident_labels(const graph::Graph& g, graph::vertex_id v,
+                           F&& fn) const {
+    const std::size_t deg = g.degree_raw(v);
+    amem::count_read(1 + deg);
+    for (std::size_t p = 0; p < deg; ++p) {
+      const auto [a, b] = vg_->edge_image(v, p);
+      if (a == b) continue;  // self-loop
+      fn(bc_.edge_label(a, b));
+    }
+  }
+
+  const graph::VGraph* vg_;
+  BcLabeling bc_;
+  std::vector<graph::vertex_id> orig_tecc_;
+};
+
+}  // namespace wecc::biconn

@@ -1,0 +1,29 @@
+// Shared result types for the connectivity family.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "amem/asym_array.hpp"
+#include "graph/graph.hpp"
+
+namespace wecc::connectivity {
+
+/// Connected-components labeling: label[v] is a canonical vertex id of v's
+/// component, so `label[u] == label[v]` answers a query in O(1) reads.
+struct CcResult {
+  amem::asym_array<graph::vertex_id> label;
+  std::size_t num_components = 0;
+
+  [[nodiscard]] bool connected(graph::vertex_id u, graph::vertex_id v) const {
+    return label.read(u) == label.read(v);
+  }
+};
+
+/// Spanning forest as explicit edges of the input graph.
+struct ForestResult {
+  CcResult cc;
+  graph::EdgeList edges;  // |V| - #components edges
+};
+
+}  // namespace wecc::connectivity

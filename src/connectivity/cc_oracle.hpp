@@ -1,0 +1,120 @@
+// §4.3 (Theorem 4.4): connectivity oracle in sublinear writes.
+//
+// Construction: build an implicit k-decomposition (O(n/k) writes), then run
+// connectivity *on the implicit clusters graph* — its edges are listed on
+// demand (Lemma 4.3) and only the O(n/k) center labels are ever written.
+// With k = sqrt(omega): O(n/sqrt(omega)) writes, O(sqrt(omega) n) expected
+// operations.
+//
+// Query: rho(v) (O(k) expected reads, no writes) then one label read —
+// O(sqrt(omega)) expected per Theorem 4.4.
+//
+// Two construction modes:
+//  * Sequential — BFS labeling of the implicit clusters graph (the
+//    Asymmetric RAM statement of Theorem 1.2);
+//  * Parallel — the §4.2 write-efficient connectivity with beta = 1/k run
+//    on the implicit clusters graph (the Asymmetric NP statement).
+// Both have identical read/write asymptotics; tests check they agree.
+#pragma once
+
+#include "connectivity/seq_cc.hpp"
+#include "connectivity/we_cc.hpp"
+#include "decomp/clusters_graph.hpp"
+
+namespace wecc::connectivity {
+
+struct CcOracleOptions {
+  std::size_t k = 8;  // callers pass floor(sqrt(omega)), min 2
+  std::uint64_t seed = 1;
+  bool parallel = false;
+  bool parallel_children = false;  // forwarded to the decomposition
+};
+
+template <graph::GraphView G>
+class ConnectivityOracle {
+ public:
+  static ConnectivityOracle build(const G& g, const CcOracleOptions& opt) {
+    ConnectivityOracle o(g, opt);
+    const decomp::ClustersGraph<G> cg(o.decomp_);
+    if (opt.parallel) {
+      o.cc_ = we_cc(cg, 1.0 / double(opt.k),
+                    parallel::hash2(opt.seed, 0x9e37));
+    } else {
+      o.cc_ = bfs_cc(cg);
+    }
+    return o;
+  }
+
+  /// Component id of v: a canonical vertex id, O(k) expected reads, no
+  /// writes. Virtual-center components label themselves by their minimum
+  /// vertex (disjoint from every real component's label).
+  [[nodiscard]] graph::vertex_id component_of(graph::vertex_id v) const {
+    const decomp::RhoResult r = decomp_.rho(v);
+    if (r.virtual_center) return r.center;
+    // cc_ labels centers (in index space) with a representative center
+    // index; translate to that center's vertex id so labels never collide
+    // with virtual-component labels (which are plain vertex ids).
+    const graph::vertex_id rep =
+        cc_.label.read(decomp_.center_index(r.center));
+    amem::count_read();
+    return decomp_.center_list()[rep];
+  }
+
+  [[nodiscard]] bool connected(graph::vertex_id u, graph::vertex_id v) const {
+    return component_of(u) == component_of(v);
+  }
+
+  [[nodiscard]] const decomp::ImplicitDecomposition<G>& decomposition()
+      const noexcept {
+    return decomp_;
+  }
+
+  /// §4.3's closing remark: the spanning forest *of the clusters graph*
+  /// can be output in the same bounds. Returns one original graph edge per
+  /// clusters-forest edge (provenance), O(n/k) writes, O(nk) operations —
+  /// the object §5.3 builds its clusters spanning tree from. (A full
+  /// spanning forest of G would require Theta(n) writes and is available
+  /// from we_connectivity instead.)
+  [[nodiscard]] graph::EdgeList clusters_forest() const {
+    const decomp::ClustersGraph<G> cg(decomp_);
+    const std::size_t nc = cg.num_vertices();
+    std::vector<graph::vertex_id> parent(nc, graph::kNoVertex);
+    graph::EdgeList out;
+    std::vector<graph::vertex_id> frontier, next;
+    for (std::size_t r = 0; r < nc; ++r) {
+      if (parent[r] != graph::kNoVertex) continue;
+      parent[r] = graph::vertex_id(r);
+      frontier.assign(1, graph::vertex_id(r));
+      while (!frontier.empty()) {
+        next.clear();
+        for (const graph::vertex_id ci : frontier) {
+          cg.for_boundary_edges(
+              ci, [&](graph::vertex_id cj, graph::vertex_id u,
+                      graph::vertex_id w) {
+                if (parent[cj] != graph::kNoVertex) return;
+                parent[cj] = ci;
+                amem::count_write(2);
+                out.push_back({u, w});
+                next.push_back(cj);
+              });
+        }
+        frontier.swap(next);
+      }
+    }
+    return out;
+  }
+
+  /// Number of components among real clusters plus virtual components is
+  /// not stored (that would need Omega(#components) writes); tests compute
+  /// it from component_of.
+ private:
+  ConnectivityOracle(const G& g, const CcOracleOptions& opt)
+      : decomp_(decomp::ImplicitDecomposition<G>::build(
+            g, decomp::DecompOptions{opt.k, opt.seed,
+                                     opt.parallel_children})) {}
+
+  decomp::ImplicitDecomposition<G> decomp_;
+  CcResult cc_;  // labels indexed by center index, valued in center indices
+};
+
+}  // namespace wecc::connectivity

@@ -1,0 +1,87 @@
+// Sequential connectivity baselines (the "prior work" column of Table 1 for
+// the sequential setting): BFS labeling — O(m) reads, O(n) writes, i.e.
+// already O(m + omega n) on the Asymmetric RAM — and union-find, whose
+// extra writes from path compression the benchmarks expose.
+#pragma once
+
+#include "connectivity/cc_common.hpp"
+#include "primitives/bfs.hpp"
+#include "primitives/union_find.hpp"
+
+namespace wecc::connectivity {
+
+/// BFS connectivity: label = BFS-root id. O(m) reads, O(n) writes.
+template <graph::GraphView G>
+CcResult bfs_cc(const G& g) {
+  using graph::kNoVertex;
+  using graph::vertex_id;
+  const std::size_t n = g.num_vertices();
+  CcResult r;
+  r.label.resize(n, kNoVertex);
+  std::vector<vertex_id> frontier, next;
+  for (vertex_id root = 0; root < n; ++root) {
+    if (r.label.read(root) != kNoVertex) continue;
+    r.num_components++;
+    r.label.write(root, root);
+    frontier.assign(1, root);
+    while (!frontier.empty()) {
+      next.clear();
+      for (vertex_id u : frontier) {
+        g.for_neighbors(u, [&](vertex_id w) {
+          if (r.label.read(w) == kNoVertex) {
+            r.label.write(w, root);
+            next.push_back(w);
+          }
+        });
+      }
+      frontier.swap(next);
+    }
+  }
+  return r;
+}
+
+/// Union-find connectivity with a final canonicalization pass.
+template <graph::GraphView G>
+CcResult union_find_cc(const G& g) {
+  using graph::vertex_id;
+  const std::size_t n = g.num_vertices();
+  primitives::UnionFind uf(n);
+  for (vertex_id u = 0; u < n; ++u) {
+    g.for_neighbors(u, [&](vertex_id w) {
+      if (w > u) uf.unite(u, w);
+    });
+  }
+  CcResult r;
+  r.label.resize(n);
+  for (vertex_id v = 0; v < n; ++v) {
+    const vertex_id root = uf.find(v);
+    if (root == v) r.num_components++;
+    r.label.write(v, root);
+  }
+  return r;
+}
+
+/// BFS spanning forest (baseline for the forest variants of §4.2).
+template <graph::GraphView G>
+ForestResult bfs_spanning_forest(const G& g) {
+  auto f = primitives::bfs_forest(g);
+  ForestResult out;
+  const std::size_t n = g.num_vertices();
+  out.cc.label.resize(n);
+  // Component label: the root of each BFS tree, found by chasing parents
+  // in order (order[] is root-first, so one read of the parent suffices).
+  for (graph::vertex_id v : f.order) {
+    const graph::vertex_id p = f.parent.read(v);
+    if (p == v) {
+      out.cc.num_components++;
+      out.cc.label.write(v, v);
+    } else {
+      out.cc.label.write(v, out.cc.label.read(p));
+      amem::count_write();  // forest edge emitted to asymmetric memory
+      out.edges.push_back({p, v});
+    }
+  }
+  return out;
+}
+
+}  // namespace wecc::connectivity

@@ -1,0 +1,136 @@
+// The stored state of an implicit k-decomposition: the center set S with its
+// 1-bit primary/secondary labels (Definition 2 — everything else about the
+// decomposition is recomputed from G + S on demand).
+//
+// Stored as an open-addressing hash table in asymmetric memory: building it
+// costs one counted write per center (O(n/k) total) and a membership probe
+// costs O(1) expected counted reads — this is what keeps rho() inside the
+// O(k)-operations / zero-writes budget of Lemma 3.2. Slots are atomics so
+// the parallel construction (independent primary clusters inserting their
+// secondary centers concurrently) is race-free.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "amem/counters.hpp"
+#include "graph/graph.hpp"
+#include "parallel/rng.hpp"
+
+namespace wecc::decomp {
+
+class CenterSet {
+ public:
+  CenterSet(CenterSet&& o) noexcept
+      : cap_(o.cap_),
+        mask_(o.mask_),
+        slots_(std::move(o.slots_)),
+        size_(o.size_.load(std::memory_order_relaxed)) {}
+  CenterSet& operator=(CenterSet&& o) noexcept {
+    cap_ = o.cap_;
+    mask_ = o.mask_;
+    slots_ = std::move(o.slots_);
+    size_.store(o.size_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    return *this;
+  }
+
+  explicit CenterSet(std::size_t n) {
+    const std::size_t want = std::max<std::size_t>(64, 2 * n + 2);
+    cap_ = std::bit_ceil(want);
+    mask_ = cap_ - 1;
+    slots_ = std::make_unique<std::atomic<std::uint64_t>[]>(cap_);
+    for (std::size_t i = 0; i < cap_; ++i) {
+      slots_[i].store(kEmpty, std::memory_order_relaxed);
+    }
+  }
+
+  /// Insert vertex v with its primary bit; one counted write. Idempotent.
+  void insert(graph::vertex_id v, bool primary) {
+    const std::uint64_t enc = encode(v, primary);
+    std::size_t i = probe_start(v);
+    for (std::size_t steps = 0; steps <= cap_; ++steps) {
+      std::uint64_t cur = slots_[i].load(std::memory_order_acquire);
+      amem::count_read();
+      if (cur == enc) return;  // already present with same label
+      if (cur == kEmpty) {
+        if (slots_[i].compare_exchange_strong(cur, enc,
+                                              std::memory_order_acq_rel)) {
+          amem::count_write();
+          size_.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        if (cur == enc) return;
+        // else: someone else took the slot; re-examine it.
+        continue;
+      }
+      if (decode_vertex(cur) == v) return;  // present (label bit is fixed)
+      i = (i + 1) & mask_;
+    }
+    throw std::logic_error("CenterSet overfull (capacity is 2n; impossible)");
+  }
+
+  /// Is v a center? O(1) expected counted reads.
+  [[nodiscard]] bool contains(graph::vertex_id v) const {
+    return lookup(v) != kEmpty;
+  }
+
+  /// Is v a primary center?
+  [[nodiscard]] bool is_primary(graph::vertex_id v) const {
+    const std::uint64_t e = lookup(v);
+    return e != kEmpty && (e & 1u) != 0;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return size_.load(std::memory_order_relaxed);
+  }
+
+  /// All centers, ascending (uncounted enumeration for result extraction;
+  /// oracles charge their own O(n/k) writes when materializing lists).
+  [[nodiscard]] std::vector<graph::vertex_id> to_sorted_vector() const {
+    std::vector<graph::vertex_id> out;
+    out.reserve(size());
+    for (std::size_t i = 0; i < cap_; ++i) {
+      const std::uint64_t e = slots_[i].load(std::memory_order_relaxed);
+      if (e != kEmpty) out.push_back(decode_vertex(e));
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+ private:
+  static constexpr std::uint64_t kEmpty = ~std::uint64_t{0};
+
+  static std::uint64_t encode(graph::vertex_id v, bool primary) {
+    return (std::uint64_t(v) << 1) | (primary ? 1u : 0u);
+  }
+  static graph::vertex_id decode_vertex(std::uint64_t e) {
+    return graph::vertex_id(e >> 1);
+  }
+  [[nodiscard]] std::size_t probe_start(graph::vertex_id v) const {
+    return std::size_t(parallel::mix64(v)) & mask_;
+  }
+
+  [[nodiscard]] std::uint64_t lookup(graph::vertex_id v) const {
+    std::size_t i = probe_start(v);
+    while (true) {
+      const std::uint64_t cur = slots_[i].load(std::memory_order_acquire);
+      amem::count_read();
+      if (cur == kEmpty) return kEmpty;
+      if (decode_vertex(cur) == v) return cur;
+      i = (i + 1) & mask_;
+    }
+  }
+
+  std::size_t cap_ = 0;
+  std::size_t mask_ = 0;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> slots_;
+  std::atomic<std::size_t> size_{0};
+};
+
+}  // namespace wecc::decomp

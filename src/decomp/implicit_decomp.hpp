@@ -1,0 +1,394 @@
+// §3: implicit k-decomposition (Definition 2, Algorithm 1, Theorem 3.1).
+//
+// The decomposition stores only the center set S (with 1-bit primary /
+// secondary labels); everything else — a vertex's center rho(v), a center's
+// cluster C(s), the per-cluster spanning trees of Lemma 3.3 — is recomputed
+// from G + S inside symmetric scratch, with zero asymmetric writes:
+//
+//   rho(v)    O(k) expected operations            (Lemma 3.2)
+//   C(s)      O(k^2) expected operations          (Lemma 3.5)
+//   build     O(kn) operations, O(n/k) writes     (Lemma 3.6)
+//
+// Tie-breaking: priority = ascending vertex id. rho(v) runs a lexicographic
+// BFS (frontier in discovery order, neighbors ascending, first discovery
+// wins), whose discovery order equals the paper's tie-broken shortest-path
+// order; the parent pointers give the unique shortest path SP(v, rho0(v)),
+// and rho(v) is the first center on it from v's side.
+//
+// Unconnected graphs (§3 "Extension"): an unsampled component of size >= k
+// promotes its minimum vertex to a primary center (two-phase, so the pass is
+// deterministic and parallel); a component smaller than k gets an *implicit
+// virtual center* — its minimum vertex, never written.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "amem/sym_scratch.hpp"
+#include "decomp/center_set.hpp"
+#include "graph/graph.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/rng.hpp"
+
+namespace wecc::decomp {
+
+struct DecompOptions {
+  std::size_t k = 8;
+  std::uint64_t seed = 1;
+  /// Lemma 3.7 parallel variant: each split also promotes the root's
+  /// children, shrinking recursion depth (a few more centers, same bounds).
+  bool parallel_children = false;
+};
+
+/// Result of rho(v).
+struct RhoResult {
+  graph::vertex_id center = graph::kNoVertex;
+  /// Next hop from v along SP(v, center) (== center when adjacent;
+  /// == kNoVertex when v is its own center). Edges (v, next_hop) over all v
+  /// form the rooted cluster spanning trees of Lemma 3.3.
+  graph::vertex_id next_hop = graph::kNoVertex;
+  /// True when the component had no primary center and is smaller than k:
+  /// `center` is the component minimum, which is not stored in S.
+  bool virtual_center = false;
+};
+
+/// A materialized (in scratch) cluster: members in cluster-BFS order with
+/// their in-cluster tree parents (parent[0] == center).
+struct ClusterInfo {
+  std::vector<graph::vertex_id> members;
+  std::vector<graph::vertex_id> parent;  // parallel to members
+};
+
+template <graph::GraphView G>
+class ImplicitDecomposition {
+ public:
+  /// Algorithm 1 (+ unconnected-graph extension). The graph must outlive
+  /// the decomposition.
+  static ImplicitDecomposition build(const G& g, const DecompOptions& opt);
+
+  [[nodiscard]] const G& graph() const noexcept { return *g_; }
+  [[nodiscard]] std::size_t k() const noexcept { return k_; }
+  [[nodiscard]] const CenterSet& centers() const noexcept { return set_; }
+
+  /// All centers ascending (materialized once at build; O(n/k) writes).
+  [[nodiscard]] const std::vector<graph::vertex_id>& center_list()
+      const noexcept {
+    return center_list_;
+  }
+
+  [[nodiscard]] bool is_center(graph::vertex_id v) const {
+    return set_.contains(v);
+  }
+
+  /// Lemma 3.2. No asymmetric writes; O(k log n) scratch whp.
+  [[nodiscard]] RhoResult rho(graph::vertex_id v) const;
+
+  /// Lemma 3.5: the cluster of center s (s may be a virtual center).
+  /// No asymmetric writes; O(|C| + k log n) scratch whp.
+  [[nodiscard]] ClusterInfo cluster(graph::vertex_id s) const;
+
+  /// Dense index of a (real) center in center_list(), by binary search.
+  [[nodiscard]] std::size_t center_index(graph::vertex_id c) const {
+    amem::count_read(2);
+    const auto it =
+        std::lower_bound(center_list_.begin(), center_list_.end(), c);
+    if (it == center_list_.end() || *it != c) {
+      throw std::invalid_argument("not a center");
+    }
+    return std::size_t(it - center_list_.begin());
+  }
+
+ private:
+  ImplicitDecomposition(const G& g, std::size_t k) : g_(&g), k_(k), set_(g.num_vertices()) {}
+
+  /// Lexicographic BFS from v until `stop(u)` returns true for a discovered
+  /// vertex (checked in discovery order) or the component is exhausted or
+  /// `budget` vertices were discovered. Returns discovery order; parent_of
+  /// maps each discovered vertex to its BFS predecessor.
+  struct Search {
+    std::vector<graph::vertex_id> order;
+    std::unordered_map<graph::vertex_id, graph::vertex_id> parent_of;
+    std::size_t hit_index = ~std::size_t{0};  // index in order of the hit
+    [[nodiscard]] bool hit() const { return hit_index != ~std::size_t{0}; }
+  };
+  template <typename Stop>
+  Search lex_bfs(graph::vertex_id v, Stop&& stop,
+                 std::size_t budget = ~std::size_t{0}) const;
+
+  /// rho(u) == s test used by cluster searches (avoids re-deriving paths).
+  [[nodiscard]] bool rho_is(graph::vertex_id u, graph::vertex_id s) const {
+    return rho(u).center == s;
+  }
+
+  /// Algorithm 1's SECONDARYCENTERS, iterative work-list form.
+  void secondary_centers(graph::vertex_id v, bool parallel_children);
+
+  const G* g_;
+  std::size_t k_;
+  CenterSet set_;
+  std::vector<graph::vertex_id> center_list_;
+};
+
+// ---------------------------------------------------------------------------
+// implementation
+// ---------------------------------------------------------------------------
+
+template <graph::GraphView G>
+template <typename Stop>
+typename ImplicitDecomposition<G>::Search ImplicitDecomposition<G>::lex_bfs(
+    graph::vertex_id v, Stop&& stop, std::size_t budget) const {
+  using graph::vertex_id;
+  Search s;
+  amem::SymScratch scratch(2);
+  s.order.push_back(v);
+  s.parent_of.emplace(v, v);
+  if (stop(v)) {
+    s.hit_index = 0;
+    return s;
+  }
+  std::vector<vertex_id> nbrs;
+  for (std::size_t i = 0; i < s.order.size() && s.order.size() < budget;
+       ++i) {
+    const vertex_id u = s.order[i];
+    nbrs.clear();
+    g_->for_neighbors(u, [&](vertex_id w) { nbrs.push_back(w); });
+    std::sort(nbrs.begin(), nbrs.end());
+    for (vertex_id w : nbrs) {
+      if (w == u) continue;  // self-loop
+      if (s.parent_of.emplace(w, u).second) {
+        scratch.grow(2);
+        s.order.push_back(w);
+        if (stop(w)) {
+          s.hit_index = s.order.size() - 1;
+          return s;
+        }
+        if (s.order.size() >= budget) break;
+      }
+    }
+  }
+  return s;
+}
+
+template <graph::GraphView G>
+RhoResult ImplicitDecomposition<G>::rho(graph::vertex_id v) const {
+  using graph::vertex_id;
+  RhoResult r;
+  // Find the nearest primary center rho0(v) in tie-broken order.
+  Search s = lex_bfs(v, [&](vertex_id u) { return set_.is_primary(u); });
+  if (!s.hit()) {
+    // Component with no primary center: virtual center = minimum vertex.
+    // (Size >= k cannot happen post-build — see the promotion pass.)
+    vertex_id mn = v;
+    for (vertex_id u : s.order) mn = std::min(mn, u);
+    r.center = mn;
+    r.virtual_center = true;
+    if (mn != v) {
+      // First step of the path from v to mn: chase parents from mn to v.
+      vertex_id x = mn, prev = mn;
+      while (x != v) {
+        prev = x;
+        x = s.parent_of.at(x);
+      }
+      r.next_hop = prev;
+    }
+    return r;
+  }
+  // Path v -> rho0(v): reconstruct by chasing parents from the hit.
+  std::vector<vertex_id> path;  // rho0 ... v (reversed)
+  for (vertex_id x = s.order[s.hit_index];; x = s.parent_of.at(x)) {
+    path.push_back(x);
+    if (x == v) break;
+  }
+  amem::SymScratch scratch(path.size());
+  // First center from v's side (path is reversed: v is path.back()).
+  for (std::size_t i = path.size(); i > 0; --i) {
+    const vertex_id x = path[i - 1];
+    if (set_.contains(x)) {
+      r.center = x;
+      // Next hop from v toward the center: the path vertex adjacent to v.
+      if (x != v) r.next_hop = path[path.size() - 2];
+      break;
+    }
+  }
+  return r;
+}
+
+template <graph::GraphView G>
+ClusterInfo ImplicitDecomposition<G>::cluster(graph::vertex_id s) const {
+  using graph::vertex_id;
+  ClusterInfo c;
+  // BFS from s pruned to members (Corollary 3.4 makes this complete).
+  std::unordered_map<vertex_id, char> seen;  // scratch
+  amem::SymScratch scratch(2);
+  c.members.push_back(s);
+  c.parent.push_back(s);
+  seen.emplace(s, 1);
+  std::vector<vertex_id> nbrs;
+  for (std::size_t i = 0; i < c.members.size(); ++i) {
+    const vertex_id u = c.members[i];
+    nbrs.clear();
+    g_->for_neighbors(u, [&](vertex_id w) { nbrs.push_back(w); });
+    std::sort(nbrs.begin(), nbrs.end());
+    for (vertex_id w : nbrs) {
+      if (w == u || !seen.emplace(w, 1).second) continue;
+      scratch.grow(1);
+      const RhoResult rw = rho(w);
+      if (rw.center == s) {
+        c.members.push_back(w);
+        c.parent.push_back(rw.next_hop);
+        scratch.grow(2);
+      }
+    }
+  }
+  return c;
+}
+
+template <graph::GraphView G>
+void ImplicitDecomposition<G>::secondary_centers(graph::vertex_id v,
+                                                 bool parallel_children) {
+  using graph::vertex_id;
+  std::vector<vertex_id> pending{v};
+  while (!pending.empty()) {
+    const vertex_id c = pending.back();
+    pending.pop_back();
+
+    // Search for the first k+1 vertices whose center is c (line 7).
+    std::vector<vertex_id> members, parents;
+    {
+      std::unordered_map<vertex_id, char> seen;
+      amem::SymScratch scratch(2);
+      members.push_back(c);
+      parents.push_back(c);
+      seen.emplace(c, 1);
+      std::vector<vertex_id> nbrs;
+      for (std::size_t i = 0;
+           i < members.size() && members.size() <= k_; ++i) {
+        const vertex_id u = members[i];
+        nbrs.clear();
+        g_->for_neighbors(u, [&](vertex_id w) { nbrs.push_back(w); });
+        std::sort(nbrs.begin(), nbrs.end());
+        for (vertex_id w : nbrs) {
+          if (w == u || !seen.emplace(w, 1).second) continue;
+          scratch.grow(1);
+          const RhoResult rw = rho(w);
+          if (rw.center == c) {
+            members.push_back(w);
+            parents.push_back(rw.next_hop);
+            scratch.grow(2);
+            if (members.size() > k_) break;
+          }
+        }
+      }
+    }
+    if (members.size() <= k_) continue;  // line 8: cluster fits
+
+    // Build the (truncated) tree on the first k members; find the splitter
+    // maximizing min(subtree, k - subtree) (line 9).
+    members.resize(k_);
+    parents.resize(k_);
+    std::unordered_map<vertex_id, std::uint32_t> idx;
+    for (std::uint32_t i = 0; i < members.size(); ++i) idx[members[i]] = i;
+    std::vector<std::uint32_t> sub(members.size(), 1);
+    for (std::size_t i = members.size(); i > 1; --i) {
+      // members is in BFS order, so children come after parents.
+      const auto pit = idx.find(parents[i - 1]);
+      if (pit != idx.end()) sub[pit->second] += sub[i - 1];
+    }
+    std::size_t best = 0;
+    std::uint32_t best_score = 0;
+    for (std::size_t i = 1; i < members.size(); ++i) {
+      const std::uint32_t score =
+          std::min<std::uint32_t>(sub[i], std::uint32_t(k_) - sub[i]);
+      if (score > best_score ||
+          (score == best_score && best != 0 &&
+           members[i] < members[best])) {
+        best = i;
+        best_score = score;
+      }
+    }
+    if (best == 0) continue;  // defensive: no splitter (k == 1 corner)
+
+    const vertex_id u = members[best];
+    set_.insert(u, /*primary=*/false);  // line 10
+    if (parallel_children) {
+      // Lemma 3.7: also promote the root's children in the truncated tree.
+      for (std::size_t i = 1; i < members.size(); ++i) {
+        if (parents[i] == c && members[i] != u) {
+          set_.insert(members[i], false);
+          pending.push_back(members[i]);
+        }
+      }
+    }
+    pending.push_back(c);  // line 11
+    pending.push_back(u);  // line 12
+  }
+}
+
+template <graph::GraphView G>
+ImplicitDecomposition<G> ImplicitDecomposition<G>::build(
+    const G& g, const DecompOptions& opt) {
+  using graph::vertex_id;
+  if (opt.k < 2) throw std::invalid_argument("k must be >= 2");
+  const std::size_t n = g.num_vertices();
+  ImplicitDecomposition d(g, opt.k);
+
+  // Line 1: sample primaries with probability 1/k.
+  for (std::size_t v = 0; v < n; ++v) {
+    amem::count_read();
+    if (parallel::bernoulli(opt.seed, v, 1.0 / double(opt.k))) {
+      d.set_.insert(vertex_id(v), true);
+    }
+  }
+
+  // Unsampled components of size >= k: promote the component minimum.
+  // Two-phase (scan then insert) keeps the pass deterministic in parallel.
+  std::vector<std::vector<vertex_id>> promote(parallel::num_threads() * 4);
+  {
+    const std::size_t nb = promote.size();
+    const std::size_t block = (n + nb - 1) / nb;
+    parallel::detail::run_tasks(nb, [&](std::size_t b) {
+      const std::size_t lo = b * block, hi = std::min(n, lo + block);
+      for (std::size_t vv = lo; vv < hi; ++vv) {
+        const auto v = vertex_id(vv);
+        Search s = d.lex_bfs(
+            v, [&](vertex_id u) { return d.set_.is_primary(u); });
+        if (s.hit()) continue;
+        if (s.order.size() < opt.k) continue;  // implicit virtual center
+        vertex_id mn = v;
+        for (vertex_id u : s.order) mn = std::min(mn, u);
+        if (mn == v) promote[b].push_back(v);
+      }
+    });
+  }
+  for (auto& vec : promote) {
+    for (vertex_id v : vec) d.set_.insert(v, true);
+  }
+
+  // Lines 3-4: secondary centers per primary cluster, in parallel (clusters
+  // are independent — a vertex's path to its primary center stays inside
+  // its primary cluster, Lemma 3.3).
+  std::vector<vertex_id> primaries;
+  for (vertex_id v : d.set_.to_sorted_vector()) {
+    if (d.set_.is_primary(v)) primaries.push_back(v);
+  }
+  const std::size_t np = primaries.size();
+  const std::size_t nb = std::min<std::size_t>(
+      parallel::num_threads() * 4, std::max<std::size_t>(1, np));
+  const std::size_t block = (np + nb - 1) / nb;
+  parallel::detail::run_tasks(nb, [&](std::size_t b) {
+    const std::size_t lo = b * block, hi = std::min(np, lo + block);
+    for (std::size_t i = lo; i < hi; ++i) {
+      d.secondary_centers(primaries[i], opt.parallel_children);
+    }
+  });
+
+  // Materialize the sorted center list (O(n/k) counted writes).
+  d.center_list_ = d.set_.to_sorted_vector();
+  amem::count_write(d.center_list_.size());
+  return d;
+}
+
+}  // namespace wecc::decomp

@@ -1,0 +1,221 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "parallel/rng.hpp"
+
+namespace wecc::graph::gen {
+
+using parallel::Rng;
+
+Graph path(std::size_t n) {
+  EdgeList e;
+  e.reserve(n ? n - 1 : 0);
+  for (vertex_id i = 0; i + 1 < n; ++i) e.push_back({i, vertex_id(i + 1)});
+  return Graph::from_edges(n, e);
+}
+
+Graph cycle(std::size_t n) {
+  EdgeList e;
+  for (vertex_id i = 0; i + 1 < n; ++i) e.push_back({i, vertex_id(i + 1)});
+  if (n >= 3) e.push_back({vertex_id(n - 1), 0});
+  return Graph::from_edges(n, e);
+}
+
+Graph grid2d(std::size_t rows, std::size_t cols, bool wrap) {
+  const auto id = [cols](std::size_t r, std::size_t c) {
+    return vertex_id(r * cols + c);
+  };
+  EdgeList e;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) e.push_back({id(r, c), id(r, c + 1)});
+      else if (wrap && cols > 2) e.push_back({id(r, c), id(r, 0)});
+      if (r + 1 < rows) e.push_back({id(r, c), id(r + 1, c)});
+      else if (wrap && rows > 2) e.push_back({id(r, c), id(0, c)});
+    }
+  }
+  return Graph::from_edges(rows * cols, e);
+}
+
+Graph complete(std::size_t n) {
+  EdgeList e;
+  e.reserve(n * (n - 1) / 2);
+  for (vertex_id i = 0; i < n; ++i)
+    for (vertex_id j = i + 1; j < n; ++j) e.push_back({i, j});
+  return Graph::from_edges(n, e);
+}
+
+Graph star(std::size_t n) {
+  EdgeList e;
+  for (vertex_id i = 1; i < n; ++i) e.push_back({0, i});
+  return Graph::from_edges(n, e);
+}
+
+Graph binary_tree(std::size_t n) {
+  EdgeList e;
+  for (vertex_id i = 1; i < n; ++i) e.push_back({vertex_id((i - 1) / 2), i});
+  return Graph::from_edges(n, e);
+}
+
+Graph random_tree(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<vertex_id> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  for (std::size_t i = n; i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.next_int(i)]);
+  }
+  EdgeList e;
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::size_t p = rng.next_int(i);
+    e.push_back({perm[p], perm[i]});
+  }
+  return Graph::from_edges(n, e);
+}
+
+Graph random_regular_ish(std::size_t n, std::size_t degree,
+                         std::uint64_t seed) {
+  EdgeList e;
+  std::vector<vertex_id> perm(n);
+  for (std::size_t round = 0; round < degree; ++round) {
+    Rng rng(parallel::hash2(seed, round));
+    std::iota(perm.begin(), perm.end(), 0);
+    for (std::size_t i = n; i > 1; --i) {
+      std::swap(perm[i - 1], perm[rng.next_int(i)]);
+    }
+    // Pair consecutive entries of the permutation: a near-perfect matching,
+    // so each round adds at most 1 to every degree.
+    for (std::size_t i = 0; i + 1 < n; i += 2) {
+      if (perm[i] != perm[i + 1]) e.push_back({perm[i], perm[i + 1]});
+    }
+  }
+  std::sort(e.begin(), e.end(), [](const Edge& a, const Edge& b) {
+    const auto ka = std::minmax(a.u, a.v), kb = std::minmax(b.u, b.v);
+    return ka < kb;
+  });
+  e.erase(std::unique(e.begin(), e.end(),
+                      [](const Edge& a, const Edge& b) {
+                        return std::minmax(a.u, a.v) == std::minmax(b.u, b.v);
+                      }),
+          e.end());
+  return Graph::from_edges(n, e);
+}
+
+Graph erdos_renyi(std::size_t n, std::size_t m, std::uint64_t seed) {
+  EdgeList e;
+  e.reserve(m);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < m; ++i) {
+    vertex_id u = vertex_id(rng.next_int(n));
+    vertex_id v = vertex_id(rng.next_int(n));
+    if (u == v) v = vertex_id((v + 1) % n);
+    e.push_back({u, v});
+  }
+  return Graph::from_edges(n, e);
+}
+
+Graph preferential_attachment(std::size_t n, std::size_t out_deg,
+                              std::uint64_t seed) {
+  EdgeList e;
+  Rng rng(seed);
+  std::vector<vertex_id> targets;  // each endpoint repeated per degree
+  targets.push_back(0);
+  for (vertex_id v = 1; v < n; ++v) {
+    for (std::size_t j = 0; j < out_deg; ++j) {
+      const vertex_id t = targets[rng.next_int(targets.size())];
+      if (t == v) continue;
+      e.push_back({t, v});
+      targets.push_back(t);
+      targets.push_back(v);
+    }
+    if (targets.empty() || targets.back() != v) targets.push_back(v);
+  }
+  return Graph::from_edges(n, e);
+}
+
+Graph cactus_chain(std::size_t num_cycles, std::size_t cycle_len) {
+  EdgeList e;
+  vertex_id next = 0;
+  vertex_id shared = 0;  // articulation vertex linking consecutive cycles
+  std::size_t n = 0;
+  for (std::size_t c = 0; c < num_cycles; ++c) {
+    const vertex_id start = (c == 0) ? next++ : shared;
+    vertex_id prev = start;
+    for (std::size_t i = 1; i < cycle_len; ++i) {
+      const vertex_id v = next++;
+      e.push_back({prev, v});
+      prev = v;
+    }
+    e.push_back({prev, start});
+    shared = prev;  // last vertex of this cycle anchors the next
+    n = next;
+  }
+  return Graph::from_edges(n, e);
+}
+
+Graph barbell(std::size_t s) {
+  EdgeList e;
+  for (vertex_id i = 0; i < s; ++i)
+    for (vertex_id j = i + 1; j < s; ++j) e.push_back({i, j});
+  for (vertex_id i = 0; i < s; ++i)
+    for (vertex_id j = i + 1; j < s; ++j)
+      e.push_back({vertex_id(s + i), vertex_id(s + j)});
+  e.push_back({vertex_id(s - 1), vertex_id(s)});  // the bridge
+  return Graph::from_edges(2 * s, e);
+}
+
+Graph percolation_grid(std::size_t rows, std::size_t cols, double p,
+                       std::uint64_t seed) {
+  const auto id = [cols](std::size_t r, std::size_t c) {
+    return vertex_id(r * cols + c);
+  };
+  EdgeList e;
+  std::uint64_t idx = 0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols && parallel::bernoulli(seed, idx++, p)) {
+        e.push_back({id(r, c), id(r, c + 1)});
+      }
+      if (r + 1 < rows && parallel::bernoulli(seed, idx++, p)) {
+        e.push_back({id(r, c), id(r + 1, c)});
+      }
+    }
+  }
+  return Graph::from_edges(rows * cols, e);
+}
+
+Graph disjoint_union(const Graph& a, const Graph& b) {
+  EdgeList e = a.edge_list();
+  const vertex_id shift = vertex_id(a.num_vertices());
+  for (const Edge& be : b.edge_list()) {
+    e.push_back({vertex_id(be.u + shift), vertex_id(be.v + shift)});
+  }
+  return Graph::from_edges(a.num_vertices() + b.num_vertices(), e);
+}
+
+Graph figure2_graph() {
+  // Paper Figure 2, 0-indexed. Tree edges (solid): (1,2),(1,6),(2,3),(2,4),
+  // (2,5),(6,7),(6,8),(6,9); non-tree (dash): (3,4),(4,7),(8,9).
+  // BFS from vertex 0 with ascending adjacency reconstructs exactly that
+  // spanning tree, so the BC labeling matches the figure:
+  //   l = [1,1,1,2,1,1,3,3] (for paper vertices 2..9), r = [1,2,6],
+  //   bridges {(2,5)}, articulation points {2,6},
+  //   BCCs {1,2,3,4,6,7}, {2,5}, {6,8,9}.
+  const EdgeList e = {{0, 1}, {0, 5}, {1, 2}, {1, 3}, {1, 4}, {5, 6},
+                      {5, 7}, {5, 8}, {2, 3}, {3, 6}, {7, 8}};
+  return Graph::from_edges(9, e);
+}
+
+Graph figure1_like_graph() {
+  // 12 vertices a..l -> 0..11, bounded degree (max 4), connected; shaped
+  // like Figure 1's two-lobe layout. Exact edges of the paper's figure are
+  // not recoverable from the text, so tests assert decomposition
+  // invariants (cluster size, connectivity, center count) on it instead.
+  const EdgeList e = {{0, 2},  {0, 6},  {0, 10}, {1, 8},  {1, 9}, {2, 8},
+                      {3, 7},  {3, 9},  {4, 5},  {4, 11}, {5, 9}, {6, 10},
+                      {7, 11}, {8, 9},  {10, 11}};
+  return Graph::from_edges(12, e);
+}
+
+}  // namespace wecc::graph::gen

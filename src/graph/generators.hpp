@@ -1,0 +1,78 @@
+// Graph generators covering the regimes Table 1 distinguishes:
+// bounded-degree sparse (grids, tori, random-regular-like, cactus chains),
+// dense (Erdos–Renyi with m >> n), unbounded-degree (stars, preferential
+// attachment), plus exact reconstructions of the paper's figures and the
+// Swendsen–Wang style sampled grids motivating the oracle use case (§1).
+//
+// All generators are deterministic in (parameters, seed).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace wecc::graph::gen {
+
+/// Simple path 0-1-...-n-1.
+Graph path(std::size_t n);
+
+/// Cycle on n vertices (n >= 3).
+Graph cycle(std::size_t n);
+
+/// rows x cols grid; wrap=true gives the torus (degree exactly 4).
+Graph grid2d(std::size_t rows, std::size_t cols, bool wrap = false);
+
+/// Complete graph K_n.
+Graph complete(std::size_t n);
+
+/// Star: vertex 0 joined to 1..n-1 (unbounded degree).
+Graph star(std::size_t n);
+
+/// Complete binary tree on n vertices (heap numbering).
+Graph binary_tree(std::size_t n);
+
+/// Uniform random tree (random parent among previous vertices, then
+/// relabeled by a random permutation so ids carry no structure).
+Graph random_tree(std::size_t n, std::uint64_t seed);
+
+/// Union of `degree` random near-perfect matchings: max degree <= degree,
+/// connected whp for degree >= 3. The bounded-degree workhorse.
+Graph random_regular_ish(std::size_t n, std::size_t degree,
+                         std::uint64_t seed);
+
+/// Erdos–Renyi G(n, m): m edges sampled uniformly with replacement
+/// (parallel edges possible, as the paper's model allows).
+Graph erdos_renyi(std::size_t n, std::size_t m, std::uint64_t seed);
+
+/// Preferential attachment, `out_deg` edges per new vertex (power-law,
+/// unbounded degree) — exercises the §6 transformation.
+Graph preferential_attachment(std::size_t n, std::size_t out_deg,
+                              std::uint64_t seed);
+
+/// Chain of `num_cycles` cycles of length `cycle_len` sharing articulation
+/// vertices (a cactus): every shared vertex is an articulation point and
+/// every edge is in exactly one biconnected component.
+Graph cactus_chain(std::size_t num_cycles, std::size_t cycle_len);
+
+/// Two cliques of size s joined by a single bridge edge.
+Graph barbell(std::size_t s);
+
+/// rows x cols grid with each edge kept independently with probability p —
+/// the Swendsen–Wang bond-percolation workload from the introduction.
+Graph percolation_grid(std::size_t rows, std::size_t cols, double p,
+                       std::uint64_t seed);
+
+/// Disjoint union: shifts `b`'s vertex ids by a.num_vertices().
+Graph disjoint_union(const Graph& a, const Graph& b);
+
+/// The 9-vertex graph of the paper's Figure 2 (0-indexed: paper vertex i is
+/// i-1). BFS from vertex 0 with ascending adjacency reproduces the figure's
+/// spanning tree; expected outputs are documented in bc_labeling_test.
+Graph figure2_graph();
+
+/// A 12-vertex bounded-degree connected graph in the spirit of Figure 1,
+/// used by decomposition tests (the paper's figure does not list its edge
+/// set, so tests assert invariants rather than the exact clustering).
+Graph figure1_like_graph();
+
+}  // namespace wecc::graph::gen

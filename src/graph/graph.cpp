@@ -1,0 +1,53 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+namespace wecc::graph {
+
+Graph Graph::from_edges(std::size_t n, const EdgeList& edges) {
+  Graph g;
+  g.n_ = n;
+  g.m_ = edges.size();
+  g.offsets_.assign(n + 1, 0);
+
+  for (const Edge& e : edges) {
+    assert(e.u < n && e.v < n);
+    g.offsets_[e.u + 1]++;
+    if (e.v != e.u) g.offsets_[e.v + 1]++;  // self-loop stored once
+  }
+  for (std::size_t i = 0; i < n; ++i) g.offsets_[i + 1] += g.offsets_[i];
+
+  g.adj_.resize(g.offsets_[n]);
+  std::vector<edge_id> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const Edge& e : edges) {
+    g.adj_[cursor[e.u]++] = e.v;
+    if (e.v != e.u) g.adj_[cursor[e.v]++] = e.u;
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    std::sort(g.adj_.begin() + std::ptrdiff_t(g.offsets_[v]),
+              g.adj_.begin() + std::ptrdiff_t(g.offsets_[v + 1]));
+  }
+  return g;
+}
+
+std::size_t Graph::max_degree() const noexcept {
+  std::size_t d = 0;
+  for (std::size_t v = 0; v < n_; ++v) {
+    d = std::max<std::size_t>(d, offsets_[v + 1] - offsets_[v]);
+  }
+  return d;
+}
+
+EdgeList Graph::edge_list() const {
+  EdgeList out;
+  out.reserve(m_);
+  for (vertex_id v = 0; v < n_; ++v) {
+    for (vertex_id w : neighbors_raw(v)) {
+      if (w > v) out.push_back({v, w});
+      else if (w == v) out.push_back({v, v});  // self-loop stored once
+    }
+  }
+  return out;
+}
+
+}  // namespace wecc::graph

@@ -1,0 +1,50 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace wecc::graph::io {
+
+Graph read_edge_list(std::istream& in) {
+  std::string line;
+  std::size_t n = 0, m = 0;
+  bool have_header = false;
+  EdgeList edges;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    if (!have_header) {
+      if (!(ls >> n >> m)) throw std::runtime_error("bad edge-list header");
+      have_header = true;
+      edges.reserve(m);
+      continue;
+    }
+    std::uint64_t u = 0, v = 0;
+    if (!(ls >> u >> v)) throw std::runtime_error("bad edge line: " + line);
+    if (u >= n || v >= n) throw std::runtime_error("vertex out of range");
+    edges.push_back({vertex_id(u), vertex_id(v)});
+  }
+  if (!have_header) throw std::runtime_error("empty edge-list input");
+  if (edges.size() != m) throw std::runtime_error("edge count mismatch");
+  return Graph::from_edges(n, edges);
+}
+
+Graph read_edge_list_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open " + path);
+  return read_edge_list(f);
+}
+
+void write_edge_list(const Graph& g, std::ostream& out) {
+  out << g.num_vertices() << ' ' << g.num_edges() << '\n';
+  for (const Edge& e : g.edge_list()) out << e.u << ' ' << e.v << '\n';
+}
+
+void write_edge_list_file(const Graph& g, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot open " + path);
+  write_edge_list(g, f);
+}
+
+}  // namespace wecc::graph::io

@@ -1,0 +1,20 @@
+// Plain edge-list I/O: "n m" header line, then one "u v" pair per line.
+// Lines starting with '#' are comments. Used by the examples to persist
+// generated workloads and by users to load their own graphs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace wecc::graph::io {
+
+/// Parse an edge-list stream; throws std::runtime_error on malformed input.
+Graph read_edge_list(std::istream& in);
+Graph read_edge_list_file(const std::string& path);
+
+void write_edge_list(const Graph& g, std::ostream& out);
+void write_edge_list_file(const Graph& g, const std::string& path);
+
+}  // namespace wecc::graph::io

@@ -1,0 +1,76 @@
+#include "graph/vgraph.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace wecc::graph {
+
+namespace {
+/// Read charge for one binary search over a list of length len.
+inline void charge_binary_search(std::size_t len) {
+  amem::count_read(std::bit_width(len) + 1);
+}
+}  // namespace
+
+VGraph::VGraph(const Graph& g, std::size_t leaf_width)
+    : g_(&g), n_(g.num_vertices()), width_(leaf_width < 2 ? 2 : leaf_width) {
+  offsets_.assign(n_ + 1, 0);
+  for (vertex_id v = 0; v < n_; ++v) {
+    const std::size_t deg = g.degree_raw(v);
+    std::size_t extra = 0;
+    if (deg > width_) {
+      const std::size_t leaves = (deg + width_ - 1) / width_;
+      extra = 2 * leaves - 2;  // heap of 2L-1 nodes; node 0 is v itself
+    }
+    offsets_[v + 1] = offsets_[v] + extra;
+  }
+  total_ = n_ + offsets_[n_];
+  owner_.resize(offsets_[n_]);
+  for (vertex_id v = 0; v < n_; ++v) {
+    for (std::uint64_t i = offsets_[v]; i < offsets_[v + 1]; ++i) {
+      owner_[i] = v;
+    }
+  }
+}
+
+vertex_id VGraph::owner(vertex_id x) const {
+  return x < n_ ? x : owner_[x - n_];
+}
+
+vertex_id VGraph::slot_node(vertex_id v, std::size_t pos) const {
+  const std::size_t t = tree_size(v);
+  if (t == 0) return v;
+  const std::size_t leaves = (t + 1) / 2;
+  const std::size_t heap = (leaves - 1) + pos / width_;
+  assert(heap < t);
+  return global_id(v, heap);
+}
+
+vertex_id VGraph::remote_end(vertex_id v, std::size_t pos) const {
+  const auto adj_v = g_->neighbors_raw(v);
+  assert(pos < adj_v.size());
+  amem::count_read();
+  const vertex_id w = adj_v[pos];
+  if (tree_size(w) == 0) return w;
+  // Match this instance to its slot on w's side: the t-th copy of w in v's
+  // list pairs with the t-th copy of v in w's list (both lists sorted).
+  const auto first_w =
+      std::lower_bound(adj_v.begin(), adj_v.end(), w) - adj_v.begin();
+  charge_binary_search(adj_v.size());
+  const std::size_t t = pos - std::size_t(first_w);
+  const auto adj_w = g_->neighbors_raw(w);
+  const auto first_v =
+      std::lower_bound(adj_w.begin(), adj_w.end(), v) - adj_w.begin();
+  charge_binary_search(adj_w.size());
+  const std::size_t q = std::size_t(first_v) + t;
+  assert(q < adj_w.size() && adj_w[q] == v);
+  return slot_node(w, q);
+}
+
+std::pair<vertex_id, vertex_id> VGraph::edge_image(vertex_id u,
+                                                   std::size_t pos) const {
+  return {slot_node(u, pos), remote_end(u, pos)};
+}
+
+}  // namespace wecc::graph

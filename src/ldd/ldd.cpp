@@ -1,0 +1,14 @@
+#include "ldd/ldd.hpp"
+
+#include "graph/vgraph.hpp"
+
+namespace wecc::ldd {
+
+// Explicit instantiations for the concrete graph types (the implicit
+// clusters graph instantiates in its own translation units).
+template LddResult decompose<graph::Graph>(const graph::Graph&, double,
+                                           std::uint64_t, bool);
+template LddResult decompose<graph::VGraph>(const graph::VGraph&, double,
+                                            std::uint64_t, bool);
+
+}  // namespace wecc::ldd

@@ -1,0 +1,47 @@
+// Write-efficient low-diameter decomposition (Miller–Peng–Xu random shifts),
+// §4.1 / Appendix C / Theorem 4.1.
+//
+// Every vertex v draws delta_v ~ Exp(beta); a BFS from v starts at iteration
+// floor(delta_v) and all live BFS's advance one level per iteration; the
+// first BFS to reach a vertex claims it (arbitrary tie assignment is fine
+// per Shun et al. [43]). Guarantees: each part has (strong) diameter
+// O(log n / beta) whp and at most beta*m edges cross parts in expectation.
+//
+// Write efficiency: claims are committed once per vertex (O(n) writes; the
+// candidate gathering of each level lives in symmetric scratch, mirroring
+// the write-efficient BFS of [9]); edges are only read. The BFS parents are
+// returned too, giving the per-part spanning trees that §4.2 step 2 needs
+// without a second pass.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "amem/asym_array.hpp"
+#include "graph/graph.hpp"
+
+namespace wecc::ldd {
+
+struct LddResult {
+  /// Cluster id of each vertex = the id of its claiming source.
+  amem::asym_array<graph::vertex_id> cluster;
+  /// BFS parent within the cluster (parent[source] == source). Empty when
+  /// decompose() was called with want_parent = false (saves n writes for
+  /// label-only callers).
+  amem::asym_array<graph::vertex_id> parent;
+  /// Sources that claimed at least themselves, in claim order.
+  std::vector<graph::vertex_id> centers;
+  /// Number of synchronous rounds executed (empirical diameter bound).
+  std::size_t rounds = 0;
+};
+
+/// Decompose `g` with parameter beta in (0, 1]. Deterministic in
+/// (g, beta, seed). Templated over GraphView; the explicit-CSR and implicit
+/// clusters-graph instantiations live in ldd.cpp / the oracle headers.
+template <graph::GraphView G>
+LddResult decompose(const G& g, double beta, std::uint64_t seed,
+                    bool want_parent = true);
+
+}  // namespace wecc::ldd
+
+#include "ldd/ldd_impl.hpp"

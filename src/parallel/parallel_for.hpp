@@ -1,0 +1,70 @@
+// Blocked parallel_for and parallel reductions over index ranges.
+//
+// These are the Fork-instruction workhorses of the Asymmetric NP algorithms:
+// every "in parallel, for each vertex ..." step in the paper lowers to one of
+// these. Grain control keeps scheduling overhead negligible; with
+// WECC_THREADS=1 all of them degrade to exact sequential loops, which tests
+// use for deterministic counter checks.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace wecc::parallel {
+
+inline constexpr std::size_t kDefaultGrain = 1024;
+
+/// fn(i) for i in [begin, end), split into per-thread blocks.
+template <typename F>
+void parallel_for(std::size_t begin, std::size_t end, F&& fn,
+                  std::size_t grain = kDefaultGrain) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t nt = num_threads();
+  if (n <= grain || nt == 1) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  const std::size_t nblocks = std::min(nt * 4, (n + grain - 1) / grain);
+  const std::size_t block = (n + nblocks - 1) / nblocks;
+  const std::function<void(std::size_t)> task = [&](std::size_t b) {
+    const std::size_t lo = begin + b * block;
+    const std::size_t hi = std::min(end, lo + block);
+    for (std::size_t i = lo; i < hi; ++i) fn(i);
+  };
+  detail::run_tasks(nblocks, task);
+}
+
+/// Deterministic parallel reduction: combine(fn(i)...) in fixed block order.
+template <typename T, typename F, typename Combine>
+T parallel_reduce(std::size_t begin, std::size_t end, T identity, F&& fn,
+                  Combine&& combine, std::size_t grain = kDefaultGrain) {
+  if (begin >= end) return identity;
+  const std::size_t n = end - begin;
+  const std::size_t nt = num_threads();
+  if (n <= grain || nt == 1) {
+    T acc = identity;
+    for (std::size_t i = begin; i < end; ++i) acc = combine(acc, fn(i));
+    return acc;
+  }
+  const std::size_t nblocks = std::min(nt * 4, (n + grain - 1) / grain);
+  const std::size_t block = (n + nblocks - 1) / nblocks;
+  std::vector<T> partial(nblocks, identity);
+  const std::function<void(std::size_t)> task = [&](std::size_t b) {
+    const std::size_t lo = begin + b * block;
+    const std::size_t hi = std::min(end, lo + block);
+    T acc = identity;
+    for (std::size_t i = lo; i < hi; ++i) acc = combine(acc, fn(i));
+    partial[b] = acc;
+  };
+  detail::run_tasks(nblocks, task);
+  T acc = identity;
+  for (const T& p : partial) acc = combine(acc, p);
+  return acc;
+}
+
+}  // namespace wecc::parallel

@@ -1,0 +1,139 @@
+#include "parallel/thread_pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wecc::parallel {
+
+namespace {
+
+std::size_t default_threads() {
+  if (const char* env = std::getenv("WECC_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return std::size_t(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? hw : 2;  // hardware_concurrency may report 0 in containers
+}
+
+std::size_t& configured_threads() {
+  static std::size_t n = default_threads();
+  return n;
+}
+
+// Lazily-started persistent worker pool. Workers sleep on a condition
+// variable between parallel regions; one region runs at a time (nested
+// parallelism serializes inside the region, which is fine for our blocked
+// loops).
+class Pool {
+ public:
+  static Pool& instance() {
+    static Pool pool(configured_threads());
+    return pool;
+  }
+
+  std::size_t size() const { return nthreads_; }
+
+  void run(std::size_t ntasks, const std::function<void(std::size_t)>& fn) {
+    if (ntasks == 0) return;
+    if (ntasks == 1 || nthreads_ == 1 || in_region_) {
+      for (std::size_t t = 0; t < ntasks; ++t) fn(t);
+      return;
+    }
+    std::unique_lock<std::mutex> region(region_mu_);
+    in_region_ = true;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      fn_ = &fn;
+      ntasks_ = ntasks;
+      next_task_.store(0, std::memory_order_relaxed);
+      pending_ = ntasks;
+      ++generation_;
+    }
+    cv_.notify_all();
+    // The caller participates too.
+    work_loop();
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      done_cv_.wait(lk, [&] { return pending_ == 0; });
+      fn_ = nullptr;
+    }
+    in_region_ = false;
+  }
+
+ private:
+  explicit Pool(std::size_t n) : nthreads_(n < 1 ? 1 : n) {
+    for (std::size_t i = 0; i + 1 < nthreads_; ++i) {
+      workers_.emplace_back([this] { worker_main(); });
+    }
+  }
+
+  ~Pool() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto& t : workers_) t.join();
+  }
+
+  void worker_main() {
+    std::uint64_t seen_gen = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        cv_.wait(lk, [&] { return stopping_ || generation_ != seen_gen; });
+        if (stopping_) return;
+        seen_gen = generation_;
+      }
+      work_loop();
+    }
+  }
+
+  void work_loop() {
+    for (;;) {
+      const std::size_t t = next_task_.fetch_add(1, std::memory_order_relaxed);
+      if (t >= ntasks_) break;
+      (*fn_)(t);
+      std::lock_guard<std::mutex> lk(mu_);
+      if (--pending_ == 0) done_cv_.notify_all();
+    }
+  }
+
+  const std::size_t nthreads_;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::mutex region_mu_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::size_t ntasks_ = 0;
+  std::size_t pending_ = 0;
+  std::atomic<std::size_t> next_task_{0};
+  std::uint64_t generation_ = 0;
+  bool stopping_ = false;
+  static thread_local bool in_region_;
+};
+
+thread_local bool Pool::in_region_ = false;
+
+}  // namespace
+
+std::size_t num_threads() { return Pool::instance().size(); }
+
+void set_num_threads(std::size_t n) {
+  if (n >= 1) configured_threads() = n;
+}
+
+namespace detail {
+void run_tasks(std::size_t ntasks,
+               const std::function<void(std::size_t)>& fn) {
+  Pool::instance().run(ntasks, fn);
+}
+}  // namespace detail
+
+}  // namespace wecc::parallel

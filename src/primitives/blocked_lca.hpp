@@ -1,0 +1,205 @@
+// Write-lean LCA + level-ancestor index: O(n) asymmetric writes,
+// O(log n) reads per query.
+//
+// The paper cites O(1)-query LCA structures with linear preprocessing
+// [11, 42]; the textbook sparse-table index used elsewhere in this library
+// costs Theta(n log n) writes, which would dominate the §5.3 oracle's
+// O(n/k) budget. This blocked variant keeps the budget:
+//  * LCA: Euler tour + sparse table over per-block minima (block size
+//    ~ log n), so table writes are O((n / log n) * log n) = O(n); queries
+//    scan at most two blocks: O(log n) reads.
+//  * Level ancestor: binary lifting restricted to "macro" vertices (depth
+//    divisible by the block size) with jumps in units of block size —
+//    O((n / log n) * log n) = O(n) writes; queries walk < 2 blocks plus
+//    O(log n) macro jumps.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "amem/counters.hpp"
+#include "graph/graph.hpp"
+#include "primitives/euler_tour.hpp"
+
+namespace wecc::primitives {
+
+class BlockedLca {
+ public:
+  BlockedLca() = default;
+
+  explicit BlockedLca(const TreeArrays& t) : t_(&t) {
+    const std::size_t n = t.parent.size();
+    block_ = std::max<std::size_t>(2, std::bit_width(n));
+    build_tour();
+    build_block_table();
+    build_macro_lifting();
+  }
+
+  /// LCA of u and v (same tree). O(log n) reads.
+  [[nodiscard]] graph::vertex_id lca(graph::vertex_id u,
+                                     graph::vertex_id v) const {
+    std::size_t a = pos_[u], b = pos_[v];
+    if (a > b) std::swap(a, b);
+    const std::size_t ba = a / block_, bb = b / block_;
+    if (ba == bb) return scan_min(a, b);
+    graph::vertex_id best = scan_min(a, (ba + 1) * block_ - 1);
+    best = shallower(best, scan_min(bb * block_, b));
+    if (ba + 1 < bb) {
+      const std::size_t span = bb - ba - 1;
+      const std::size_t l = std::size_t(std::bit_width(span)) - 1;
+      amem::count_read(2);
+      best = shallower(best, table_[l][ba + 1]);
+      best = shallower(best, table_[l][bb - (1u << l)]);
+    }
+    return best;
+  }
+
+  /// Ancestor of v at depth d (d <= depth(v)). O(log n) reads.
+  [[nodiscard]] graph::vertex_id ancestor_at_depth(graph::vertex_id v,
+                                                   std::uint32_t d) const {
+    // Walk to the nearest macro ancestor (or straight to the target).
+    while (t_->depth[v] > d && (t_->depth[v] % block_ != 0)) {
+      v = t_->parent[v];
+      amem::count_read();
+    }
+    // Macro jumps in units of block_.
+    while (t_->depth[v] >= d + block_) {
+      std::uint32_t blocks_left = (t_->depth[v] - d) / std::uint32_t(block_);
+      const std::size_t l = std::size_t(std::bit_width(blocks_left)) - 1;
+      v = macro_up_[l][macro_index_[v]];
+      amem::count_read(2);
+    }
+    while (t_->depth[v] > d) {
+      v = t_->parent[v];
+      amem::count_read();
+    }
+    return v;
+  }
+
+ private:
+  [[nodiscard]] graph::vertex_id shallower(graph::vertex_id a,
+                                           graph::vertex_id b) const {
+    return t_->depth[a] <= t_->depth[b] ? a : b;
+  }
+
+  [[nodiscard]] graph::vertex_id scan_min(std::size_t lo,
+                                          std::size_t hi) const {
+    graph::vertex_id best = tour_[lo];
+    amem::count_read(hi - lo + 1);
+    for (std::size_t i = lo + 1; i <= hi && i < tour_.size(); ++i) {
+      best = shallower(best, tour_[i]);
+    }
+    return best;
+  }
+
+  void build_tour() {
+    const std::size_t n = t_->parent.size();
+    pos_.assign(n, 0);
+    tour_.reserve(2 * n);
+    // Children CSR, ascending.
+    std::vector<std::uint32_t> cnt(n + 1, 0);
+    for (std::size_t v = 0; v < n; ++v) {
+      if (t_->parent[v] != graph::vertex_id(v)) cnt[t_->parent[v] + 1]++;
+    }
+    for (std::size_t i = 0; i < n; ++i) cnt[i + 1] += cnt[i];
+    std::vector<graph::vertex_id> child(cnt[n]);
+    std::vector<std::uint32_t> cur(cnt.begin(), cnt.end() - 1);
+    for (std::size_t v = 0; v < n; ++v) {
+      if (t_->parent[v] != graph::vertex_id(v)) {
+        child[cur[t_->parent[v]]++] = graph::vertex_id(v);
+      }
+    }
+    std::vector<std::pair<graph::vertex_id, std::uint32_t>> stack;
+    for (std::size_t r = 0; r < n; ++r) {
+      if (t_->parent[r] != graph::vertex_id(r)) continue;
+      stack.push_back({graph::vertex_id(r), 0});
+      pos_[r] = std::uint32_t(tour_.size());
+      tour_.push_back(graph::vertex_id(r));
+      while (!stack.empty()) {
+        auto& [v, ci] = stack.back();
+        if (ci < cnt[v + 1] - cnt[v]) {
+          const graph::vertex_id c = child[cnt[v] + ci++];
+          pos_[c] = std::uint32_t(tour_.size());
+          tour_.push_back(c);
+          stack.push_back({c, 0});
+        } else {
+          stack.pop_back();
+          if (!stack.empty()) tour_.push_back(stack.back().first);
+        }
+      }
+    }
+    amem::count_write(tour_.size() + n);  // tour + positions
+  }
+
+  void build_block_table() {
+    const std::size_t nb = (tour_.size() + block_ - 1) / block_;
+    std::vector<graph::vertex_id> mins(nb);
+    for (std::size_t b = 0; b < nb; ++b) {
+      graph::vertex_id best = tour_[b * block_];
+      const std::size_t hi = std::min(tour_.size(), (b + 1) * block_);
+      for (std::size_t i = b * block_ + 1; i < hi; ++i) {
+        best = shallower(best, tour_[i]);
+      }
+      mins[b] = best;
+    }
+    amem::count_write(nb);
+    const std::size_t levels =
+        nb == 0 ? 1 : std::size_t(std::bit_width(nb)) + 1;
+    table_.assign(levels, mins);
+    for (std::size_t l = 1; (1u << l) <= nb; ++l) {
+      for (std::size_t i = 0; i + (1u << l) <= nb; ++i) {
+        table_[l][i] = shallower(table_[l - 1][i],
+                                 table_[l - 1][i + (1u << (l - 1))]);
+      }
+      amem::count_write(nb >> 1);
+    }
+  }
+
+  void build_macro_lifting() {
+    const std::size_t n = t_->parent.size();
+    macro_index_.assign(n, ~std::uint32_t{0});
+    std::vector<graph::vertex_id> macros;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (t_->depth[v] % block_ == 0) {
+        macro_index_[v] = std::uint32_t(macros.size());
+        macros.push_back(graph::vertex_id(v));
+      }
+    }
+    amem::count_write(macros.size());
+    // up[0][i]: macro ancestor exactly block_ levels up (or self at root).
+    std::uint32_t maxd = 0;
+    for (const auto d : t_->depth) maxd = std::max(maxd, d);
+    const std::size_t levels =
+        std::size_t(std::bit_width(maxd / std::uint32_t(block_) + 1)) + 1;
+    macro_up_.assign(levels,
+                     std::vector<graph::vertex_id>(macros.size()));
+    for (std::size_t i = 0; i < macros.size(); ++i) {
+      graph::vertex_id v = macros[i];
+      if (t_->depth[v] < block_) {
+        macro_up_[0][i] = v;  // shallow macro: stay (loop guard handles it)
+      } else {
+        for (std::size_t s = 0; s < block_; ++s) v = t_->parent[v];
+        macro_up_[0][i] = v;
+      }
+    }
+    amem::count_write(macros.size());
+    for (std::size_t l = 1; l < levels; ++l) {
+      for (std::size_t i = 0; i < macros.size(); ++i) {
+        macro_up_[l][i] =
+            macro_up_[l - 1][macro_index_[macro_up_[l - 1][i]]];
+      }
+      amem::count_write(macros.size());
+    }
+  }
+
+  const TreeArrays* t_ = nullptr;
+  std::size_t block_ = 4;
+  std::vector<graph::vertex_id> tour_;
+  std::vector<std::uint32_t> pos_;
+  std::vector<std::vector<graph::vertex_id>> table_;  // over block minima
+  std::vector<std::uint32_t> macro_index_;
+  std::vector<std::vector<graph::vertex_id>> macro_up_;
+};
+
+}  // namespace wecc::primitives

@@ -1,0 +1,130 @@
+// Rooted-tree machinery: children lists, Euler-tour first/last numbers,
+// depth, and the leaffix (subtree) aggregates of §5.
+//
+// The paper computes these with classic parallel Euler-tour + list-ranking;
+// we build the tour sequentially (same O(n) asymmetric writes — the depth
+// bound is the one documented deviation, DESIGN.md §3) and run the
+// aggregates level-parallel where profitable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "amem/asym_array.hpp"
+#include "graph/graph.hpp"
+
+namespace wecc::primitives {
+
+/// Arrays describing a rooted forest given by parent pointers
+/// (parent[r] == r for roots). All sized n.
+struct TreeArrays {
+  std::vector<graph::vertex_id> parent;
+  std::vector<std::uint32_t> depth;
+  std::vector<std::uint32_t> first;  // Euler/preorder entry time
+  std::vector<std::uint32_t> last;   // exit time; subtree(v) = [first,last]
+  std::vector<graph::vertex_id> preorder;  // vertices in first-time order
+
+  /// Is `a` an ancestor of (or equal to) `d`?
+  [[nodiscard]] bool is_ancestor(graph::vertex_id a,
+                                 graph::vertex_id d) const {
+    return first[a] <= first[d] && last[d] <= last[a];
+  }
+};
+
+/// Build TreeArrays from parent pointers. Children are visited in ascending
+/// id order, so the tour is deterministic. Charges n reads of the parent
+/// array and O(n) writes for the produced arrays.
+inline TreeArrays build_tree_arrays(
+    const std::vector<graph::vertex_id>& parent) {
+  using graph::vertex_id;
+  const std::size_t n = parent.size();
+  TreeArrays t;
+  t.parent = parent;
+  t.depth.assign(n, 0);
+  t.first.assign(n, 0);
+  t.last.assign(n, 0);
+  t.preorder.reserve(n);
+
+  // Children lists in CSR form, ascending child id per parent.
+  std::vector<std::uint32_t> cnt(n + 1, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    amem::count_read();
+    if (parent[v] != vertex_id(v)) cnt[parent[v] + 1]++;
+  }
+  for (std::size_t i = 0; i < n; ++i) cnt[i + 1] += cnt[i];
+  std::vector<vertex_id> child(cnt[n]);
+  {
+    std::vector<std::uint32_t> cur(cnt.begin(), cnt.end() - 1);
+    for (std::size_t v = 0; v < n; ++v) {
+      if (parent[v] != vertex_id(v)) child[cur[parent[v]]++] = vertex_id(v);
+    }
+  }
+
+  std::uint32_t clock = 0;
+  std::vector<std::pair<vertex_id, std::uint32_t>> stack;  // (vertex, child#)
+  for (std::size_t r = 0; r < n; ++r) {
+    if (parent[r] != vertex_id(r)) continue;
+    stack.push_back({vertex_id(r), 0});
+    t.first[r] = clock++;
+    t.preorder.push_back(vertex_id(r));
+    amem::count_write(2);
+    while (!stack.empty()) {
+      auto& [v, ci] = stack.back();
+      const std::uint32_t b = cnt[v], e = cnt[v + 1];
+      if (ci < e - b) {
+        const vertex_id c = child[b + ci++];
+        t.depth[c] = t.depth[v] + 1;
+        t.first[c] = clock++;
+        t.preorder.push_back(c);
+        amem::count_write(3);
+        stack.push_back({c, 0});
+      } else {
+        t.last[v] = clock - 1;
+        amem::count_write();
+        stack.pop_back();
+      }
+    }
+  }
+  return t;
+}
+
+/// Leaffix: fold each vertex's value with its children's folds, bottom-up
+/// (reverse preorder). `leaf_val(v)` seeds, `combine(acc, child_acc)`
+/// merges. Returns the per-vertex subtree aggregate. O(n) reads/writes.
+template <typename T, typename LeafVal, typename Combine>
+std::vector<T> leaffix(const TreeArrays& t, LeafVal&& leaf_val,
+                       Combine&& combine) {
+  const std::size_t n = t.parent.size();
+  std::vector<T> agg(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    agg[i] = leaf_val(graph::vertex_id(i));
+    amem::count_write();
+  }
+  for (std::size_t i = n; i > 0; --i) {
+    const graph::vertex_id v = t.preorder[i - 1];
+    const graph::vertex_id p = t.parent[v];
+    amem::count_read(2);
+    if (p != v) {
+      agg[p] = combine(agg[p], agg[v]);
+      amem::count_write();
+    }
+  }
+  return agg;
+}
+
+/// Rootfix: push values top-down (preorder). `init(root)` seeds roots,
+/// `step(parent_acc, v)` produces v's value from its parent's.
+template <typename T, typename Init, typename Step>
+std::vector<T> rootfix(const TreeArrays& t, Init&& init, Step&& step) {
+  const std::size_t n = t.parent.size();
+  std::vector<T> acc(n);
+  for (const graph::vertex_id v : t.preorder) {
+    const graph::vertex_id p = t.parent[v];
+    amem::count_read(2);
+    acc[v] = (p == v) ? init(v) : step(acc[p], v);
+    amem::count_write();
+  }
+  return acc;
+}
+
+}  // namespace wecc::primitives

@@ -1,0 +1,135 @@
+// O(1) lowest-common-ancestor and level-ancestor queries on a rooted forest.
+//
+// LCA: Euler tour + sparse-table RMQ ([11, 42] in the paper; O(n log n)
+// preprocessing here — the succinct O(n) structures are out of scope and the
+// index is only ever built on the clusters graph, whose size is already
+// reduced by a factor of k).
+// Level ancestor: binary lifting, used by the §5.3 oracle to locate the
+// child-of-LCA cluster on a query path in O(log n) reads.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "amem/counters.hpp"
+#include "graph/graph.hpp"
+#include "primitives/euler_tour.hpp"
+
+namespace wecc::primitives {
+
+class LcaIndex {
+ public:
+  LcaIndex() = default;
+
+  /// Build from TreeArrays. Charges the O(n log n) writes it performs.
+  explicit LcaIndex(const TreeArrays& t) : t_(&t) {
+    const std::size_t n = t.parent.size();
+    tour_.reserve(2 * n);
+    pos_in_tour_.assign(n, 0);
+    build_tour();
+    const std::size_t tn = tour_.size();
+    const std::size_t levels = std::size_t(std::bit_width(tn)) + 1;
+    table_.assign(levels, std::vector<graph::vertex_id>(tn));
+    table_[0] = tour_;
+    amem::count_write(tn);
+    for (std::size_t l = 1; (1u << l) <= tn; ++l) {
+      for (std::size_t i = 0; i + (1u << l) <= tn; ++i) {
+        table_[l][i] = shallower(table_[l - 1][i],
+                                 table_[l - 1][i + (1u << (l - 1))]);
+        amem::count_write();
+      }
+    }
+    build_lifting();
+  }
+
+  /// LCA of u and v (must be in the same tree). O(1) reads.
+  [[nodiscard]] graph::vertex_id lca(graph::vertex_id u,
+                                     graph::vertex_id v) const {
+    std::size_t a = pos_in_tour_[u], b = pos_in_tour_[v];
+    if (a > b) std::swap(a, b);
+    const std::size_t l = std::size_t(std::bit_width(b - a + 1)) - 1;
+    amem::count_read(4);
+    return shallower(table_[l][a], table_[l][b + 1 - (1u << l)]);
+  }
+
+  /// Ancestor of v at depth `d` (d <= depth(v)). O(log n) reads.
+  [[nodiscard]] graph::vertex_id ancestor_at_depth(graph::vertex_id v,
+                                                   std::uint32_t d) const {
+    std::uint32_t delta = t_->depth[v] - d;
+    for (std::size_t l = 0; delta != 0; ++l, delta >>= 1) {
+      if (delta & 1) {
+        v = up_[l][v];
+        amem::count_read();
+      }
+    }
+    return v;
+  }
+
+ private:
+  [[nodiscard]] graph::vertex_id shallower(graph::vertex_id a,
+                                           graph::vertex_id b) const {
+    return t_->depth[a] <= t_->depth[b] ? a : b;
+  }
+
+  void build_tour() {
+    const std::size_t n = t_->parent.size();
+    // Children CSR (ascending ids, same layout as build_tree_arrays).
+    std::vector<std::uint32_t> cnt(n + 1, 0);
+    for (std::size_t v = 0; v < n; ++v) {
+      if (t_->parent[v] != graph::vertex_id(v)) cnt[t_->parent[v] + 1]++;
+    }
+    for (std::size_t i = 0; i < n; ++i) cnt[i + 1] += cnt[i];
+    std::vector<graph::vertex_id> child(cnt[n]);
+    std::vector<std::uint32_t> cur(cnt.begin(), cnt.end() - 1);
+    for (std::size_t v = 0; v < n; ++v) {
+      if (t_->parent[v] != graph::vertex_id(v)) {
+        child[cur[t_->parent[v]]++] = graph::vertex_id(v);
+      }
+    }
+    std::vector<std::pair<graph::vertex_id, std::uint32_t>> stack;
+    for (std::size_t r = 0; r < n; ++r) {
+      if (t_->parent[r] != graph::vertex_id(r)) continue;
+      stack.push_back({graph::vertex_id(r), 0});
+      pos_in_tour_[r] = std::uint32_t(tour_.size());
+      tour_.push_back(graph::vertex_id(r));
+      while (!stack.empty()) {
+        auto& [v, ci] = stack.back();
+        if (ci < cnt[v + 1] - cnt[v]) {
+          const graph::vertex_id c = child[cnt[v] + ci++];
+          pos_in_tour_[c] = std::uint32_t(tour_.size());
+          tour_.push_back(c);
+          stack.push_back({c, 0});
+        } else {
+          stack.pop_back();
+          if (!stack.empty()) tour_.push_back(stack.back().first);
+        }
+      }
+    }
+    amem::count_write(tour_.size());
+  }
+
+  void build_lifting() {
+    const std::size_t n = t_->parent.size();
+    std::uint32_t maxd = 0;
+    for (std::uint32_t d : t_->depth) maxd = std::max(maxd, d);
+    const std::size_t levels = std::size_t(std::bit_width(maxd)) + 1;
+    up_.assign(levels, std::vector<graph::vertex_id>(n));
+    for (std::size_t v = 0; v < n; ++v) up_[0][v] = t_->parent[v];
+    amem::count_write(n);
+    for (std::size_t l = 1; l < levels; ++l) {
+      for (std::size_t v = 0; v < n; ++v) {
+        up_[l][v] = up_[l - 1][up_[l - 1][v]];
+      }
+      amem::count_write(n);
+    }
+  }
+
+  const TreeArrays* t_ = nullptr;
+  std::vector<graph::vertex_id> tour_;
+  std::vector<std::uint32_t> pos_in_tour_;
+  std::vector<std::vector<graph::vertex_id>> table_;  // sparse table (RMQ)
+  std::vector<std::vector<graph::vertex_id>> up_;     // binary lifting
+};
+
+}  // namespace wecc::primitives

@@ -1,0 +1,196 @@
+// List ranking and a parallel Euler-tour builder on top of it.
+//
+// The paper's §5.4 parallelization rests on the classic Euler-tour
+// technique [45], whose core primitive is list ranking. We provide:
+//
+//  * `list_rank` — synchronous pointer jumping (Wyllie): O(n log n)
+//    operations over O(log n) rounds. (The O(n)-write list contraction of
+//    Ben-David et al. [9] is the theoretically tight tool; pointer jumping
+//    keeps the code simple, and on the O(n/k)-sized clusters structures of
+//    §5.3 its write count is inside every budget the oracle needs.)
+//  * `parallel_tree_arrays` — TreeArrays via the Euler tour: tree edges
+//    become arc pairs linked into per-root tour lists, list ranking yields
+//    every arc's position with no sequential pointer chasing, and
+//    first/last/depth/preorder are stamped from the materialized order.
+//    Produces output identical to the sequential build_tree_arrays
+//    (asserted in list_ranking_test), so either can back the §5 pipeline.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "amem/counters.hpp"
+#include "graph/graph.hpp"
+#include "parallel/parallel_for.hpp"
+#include "primitives/euler_tour.hpp"
+
+namespace wecc::primitives {
+
+inline constexpr std::uint32_t kListEnd = ~std::uint32_t{0};
+
+/// Rank every element of the linked lists in `next` (kListEnd terminates):
+/// rank[i] = #hops from i to its list tail. Pointer jumping; deterministic
+/// (double-buffered rounds).
+inline std::vector<std::uint32_t> list_rank(std::vector<std::uint32_t> next) {
+  const std::size_t n = next.size();
+  std::vector<std::uint32_t> rank(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    rank[i] = next[i] == kListEnd ? 0 : 1;
+  }
+  amem::count_write(n);
+  std::vector<std::uint32_t> nrank(n), nnext(n);
+  bool live = n > 0;
+  while (live) {
+    parallel::parallel_for(0, n, [&](std::size_t i) {
+      const std::uint32_t nx = next[i];
+      amem::count_read(2);
+      if (nx == kListEnd) {
+        nrank[i] = rank[i];
+        nnext[i] = kListEnd;
+      } else {
+        nrank[i] = rank[i] + rank[nx];
+        nnext[i] = next[nx];
+        amem::count_read();
+      }
+      amem::count_write(2);
+    });
+    rank.swap(nrank);
+    next.swap(nnext);
+    live = false;
+    for (std::size_t i = 0; i < n && !live; ++i) {
+      live = next[i] != kListEnd;
+    }
+  }
+  return rank;
+}
+
+/// Resolve each vertex's tree root by parallel pointer jumping.
+inline std::vector<graph::vertex_id> resolve_roots(
+    std::vector<graph::vertex_id> up) {
+  const std::size_t n = up.size();
+  bool changed = n > 0;
+  while (changed) {
+    parallel::parallel_for(0, n, [&](std::size_t v) {
+      amem::count_read(2);
+      up[v] = up[up[v]];
+    });
+    changed = false;
+    for (std::size_t v = 0; v < n && !changed; ++v) {
+      changed = up[v] != up[up[v]];
+    }
+  }
+  amem::count_write(n);
+  return up;
+}
+
+/// TreeArrays from parent pointers via Euler tour + list ranking.
+/// Children are linked in ascending id order, so the result is identical
+/// to the sequential build_tree_arrays.
+inline TreeArrays parallel_tree_arrays(
+    const std::vector<graph::vertex_id>& parent) {
+  using graph::vertex_id;
+  const std::size_t n = parent.size();
+  TreeArrays t;
+  t.parent = parent;
+  t.depth.assign(n, 0);
+  t.first.assign(n, 0);
+  t.last.assign(n, 0);
+  t.preorder.assign(n, 0);
+  if (n == 0) return t;
+
+  // Children CSR, ascending.
+  std::vector<std::uint32_t> cnt(n + 1, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    amem::count_read();
+    if (parent[v] != vertex_id(v)) cnt[parent[v] + 1]++;
+  }
+  for (std::size_t i = 0; i < n; ++i) cnt[i + 1] += cnt[i];
+  std::vector<vertex_id> child(cnt[n]);
+  {
+    std::vector<std::uint32_t> cur(cnt.begin(), cnt.end() - 1);
+    for (std::size_t v = 0; v < n; ++v) {
+      if (parent[v] != vertex_id(v)) child[cur[parent[v]]++] = vertex_id(v);
+    }
+  }
+  amem::count_write(cnt[n]);
+
+  // Arcs: 2i = down-arc into child[i], 2i+1 = matching up-arc. The tour
+  // successor rule is purely local, so arcs link in parallel:
+  //   down(c) -> down(first child of c), or up(c) if c is a leaf;
+  //   up(c)   -> down(next sibling), or up(parent) (list end at roots).
+  const std::size_t na = 2 * child.size();
+  std::vector<std::uint32_t> next(na, kListEnd);
+  std::vector<std::uint32_t> first_down(n, kListEnd);
+  std::vector<std::uint32_t> up_of(n, kListEnd);
+  for (std::size_t i = 0; i < child.size(); ++i) {
+    const vertex_id p = parent[child[i]];
+    if (std::uint32_t(i) == cnt[p]) first_down[p] = std::uint32_t(2 * i);
+    up_of[child[i]] = std::uint32_t(2 * i + 1);
+  }
+  amem::count_write(2 * n);
+  parallel::parallel_for(0, child.size(), [&](std::size_t i) {
+    const vertex_id c = child[i];
+    const vertex_id p = parent[c];
+    next[2 * i] = first_down[c] != kListEnd ? first_down[c] : up_of[c];
+    const std::size_t sib = i + 1;
+    next[2 * i + 1] = (sib < cnt[p + 1]) ? std::uint32_t(2 * sib)
+                                         : up_of[p];  // kListEnd at roots
+    amem::count_write(2);
+  });
+
+  // Rank = hops to the tour tail; position within the root's tour =
+  // len - 1 - rank. Materialize the global arc order with one scatter.
+  const auto rank = list_rank(next);
+  const auto root_of = resolve_roots(parent);
+  std::vector<std::uint32_t> root_len(n, 0), root_off(n, 0);
+  for (std::size_t r = 0; r < n; ++r) {
+    if (parent[r] == vertex_id(r) && first_down[r] != kListEnd) {
+      root_len[r] = rank[first_down[r]] + 1;
+    }
+  }
+  {
+    std::uint32_t acc = 0;
+    for (std::size_t r = 0; r < n; ++r) {
+      if (parent[r] == vertex_id(r)) {
+        root_off[r] = acc;
+        acc += root_len[r];
+      }
+    }
+  }
+  amem::count_write(2 * n);
+  std::vector<std::uint32_t> order(na);
+  parallel::parallel_for(0, na, [&](std::size_t a) {
+    const vertex_id c = child[a / 2];
+    const vertex_id r = root_of[c];
+    amem::count_read(3);
+    order[root_off[r] + (root_len[r] - 1 - rank[a])] = std::uint32_t(a);
+    amem::count_write();
+  });
+
+  // Stamp first/last/depth/preorder from the materialized order —
+  // numbering identical to the sequential builder.
+  std::uint32_t clock = 0;
+  std::size_t cursor = 0;
+  for (std::size_t r = 0; r < n; ++r) {
+    if (parent[r] != vertex_id(r)) continue;
+    t.first[r] = clock;
+    t.preorder[clock++] = vertex_id(r);
+    for (std::uint32_t i = 0; i < root_len[r]; ++i) {
+      const std::uint32_t a = order[cursor++];
+      const vertex_id c = child[a / 2];
+      if ((a & 1u) == 0) {  // down-arc: enter c
+        t.depth[c] = t.depth[parent[c]] + 1;
+        t.first[c] = clock;
+        t.preorder[clock++] = c;
+      } else {  // up-arc: leave c
+        t.last[c] = clock - 1;
+      }
+    }
+    t.last[r] = clock - 1;
+  }
+  amem::count_write(3 * n);
+  t.preorder.resize(clock);
+  return t;
+}
+
+}  // namespace wecc::primitives

@@ -1,0 +1,174 @@
+// Tests for the §4.3 connectivity oracle (Theorem 4.4): correctness against
+// brute force across families / k / seeds, sequential-vs-parallel agreement,
+// sublinear construction writes, and O(k) zero-write queries.
+#include <gtest/gtest.h>
+
+#include "amem/counters.hpp"
+#include "connectivity/cc_oracle.hpp"
+#include "graph/generators.hpp"
+#include "primitives/union_find.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace wecc;
+using connectivity::CcOracleOptions;
+using connectivity::ConnectivityOracle;
+using graph::Graph;
+using graph::vertex_id;
+
+using Oracle = ConnectivityOracle<Graph>;
+
+CcOracleOptions opts(std::size_t k, std::uint64_t seed = 1,
+                     bool parallel = false) {
+  CcOracleOptions o;
+  o.k = k;
+  o.seed = seed;
+  o.parallel = parallel;
+  return o;
+}
+
+void check_oracle(const Graph& g, const Oracle& o) {
+  const auto truth = testutil::brute_cc(g);
+  std::vector<vertex_id> got(g.num_vertices());
+  for (vertex_id v = 0; v < g.num_vertices(); ++v) {
+    got[v] = o.component_of(v);
+  }
+  EXPECT_TRUE(testutil::same_partition(truth, got, g.num_vertices()));
+}
+
+TEST(CcOracle, CorrectOnBoundedDegreeFamilies) {
+  check_oracle(graph::gen::grid2d(15, 15),
+               Oracle::build(graph::gen::grid2d(15, 15), opts(4)));
+  const Graph torus = graph::gen::grid2d(10, 14, true);
+  check_oracle(torus, Oracle::build(torus, opts(6)));
+  const Graph rr = graph::gen::random_regular_ish(500, 4, 3);
+  check_oracle(rr, Oracle::build(rr, opts(8)));
+  const Graph tree = graph::gen::random_tree(300, 4);
+  check_oracle(tree, Oracle::build(tree, opts(5)));
+}
+
+TEST(CcOracle, CorrectOnDisconnectedGraphsWithTinyComponents) {
+  Graph g = graph::gen::disjoint_union(graph::gen::grid2d(8, 8),
+                                       graph::gen::path(3));
+  g = graph::gen::disjoint_union(g, graph::gen::cycle(5));
+  g = graph::gen::disjoint_union(g, Graph::from_edges(2, {}));  // isolated
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    check_oracle(g, Oracle::build(g, opts(8, seed)));
+  }
+}
+
+TEST(CcOracle, SequentialAndParallelModesAgree) {
+  const Graph g = graph::gen::grid2d(12, 12, true);
+  const auto seq = Oracle::build(g, opts(6, 3, false));
+  const auto par = Oracle::build(g, opts(6, 3, true));
+  for (vertex_id v = 0; v < g.num_vertices(); ++v) {
+    // Canonical representatives may differ; compare partitions.
+    for (vertex_id w : {vertex_id(0), vertex_id(g.num_vertices() - 1)}) {
+      EXPECT_EQ(seq.component_of(v) == seq.component_of(w),
+                par.component_of(v) == par.component_of(w));
+    }
+  }
+}
+
+class CcOracleSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CcOracleSweep, PercolationGrids) {
+  const auto [k, seed] = GetParam();
+  // Sub-critical and super-critical bond percolation: many components of
+  // wildly different sizes — the small-component machinery's stress test.
+  for (const double p : {0.3, 0.55}) {
+    const Graph g = graph::gen::percolation_grid(18, 18, p, 100 + seed);
+    check_oracle(g, Oracle::build(g, opts(std::size_t(k), seed)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(KAndSeed, CcOracleSweep,
+                         ::testing::Combine(::testing::Values(2, 4, 9),
+                                            ::testing::Values(1, 7, 23)));
+
+TEST(CcOracleCosts, ConstructionWritesSublinear) {
+  // Theorem 4.4: O(n/k) writes. Compare against the Theta(n) a BFS pays.
+  const Graph g = graph::gen::grid2d(60, 60, true);
+  const std::size_t n = g.num_vertices();
+  const std::size_t k = 16;
+  amem::reset();
+  const auto o = Oracle::build(g, opts(k, 5));
+  const auto s = amem::snapshot();
+  EXPECT_LE(s.writes, 24 * n / k + 64);
+  EXPECT_LT(s.writes, n / 2);  // strictly below the linear-write barrier
+  (void)o;
+}
+
+TEST(CcOracleCosts, QueriesReadOkAndNeverWrite) {
+  const Graph g = graph::gen::grid2d(40, 40, true);
+  const std::size_t k = 9;
+  const auto o = Oracle::build(g, opts(k, 7));
+  std::uint64_t reads = 0;
+  const std::size_t q = 500;
+  for (vertex_id v = 0; v < q; ++v) {
+    amem::Phase p;
+    (void)o.component_of(v);
+    EXPECT_EQ(p.delta().writes, 0u);
+    reads += p.delta().reads;
+  }
+  EXPECT_LE(reads / q, 80 * k);  // O(k) expected with probe constants
+}
+
+TEST(CcOracleCosts, ConstructionReadsAreKTimesN) {
+  const Graph g = graph::gen::grid2d(40, 40, true);
+  amem::reset();
+  (void)Oracle::build(g, opts(4, 3));
+  const auto small_k = amem::snapshot();
+  amem::reset();
+  (void)Oracle::build(g, opts(16, 3));
+  const auto large_k = amem::snapshot();
+  EXPECT_GT(large_k.reads, small_k.reads);   // reads rise with k
+  EXPECT_LT(large_k.writes, small_k.writes); // writes fall with k
+}
+
+
+TEST(CcOracle, ClustersForestIsValidAndSublinear) {
+  const Graph g = graph::gen::grid2d(30, 30, true);
+  const auto o = Oracle::build(g, opts(8, 5));
+  amem::Phase p;
+  const auto forest = o.clusters_forest();
+  const auto cost = p.delta();
+  // One edge per non-root cluster; every edge real; joining them with the
+  // clusters must reconnect exactly the components of g.
+  const auto& d = o.decomposition();
+  EXPECT_EQ(forest.size() + 1, d.center_list().size());  // torus: 1 comp
+  primitives::UnionFind uf(g.num_vertices());
+  for (const auto& e : forest) {
+    const auto nb = g.neighbors_raw(e.u);
+    ASSERT_TRUE(std::binary_search(nb.begin(), nb.end(), e.v));
+    EXPECT_TRUE(uf.unite(e.u, e.v)) << "cycle in clusters forest";
+  }
+  // Writes stay O(n/k).
+  EXPECT_LE(cost.writes, 4 * g.num_vertices() / 8 + 16);
+}
+
+TEST(CcOracle, ClustersForestSpansEachComponent) {
+  Graph g = graph::gen::disjoint_union(graph::gen::grid2d(8, 8),
+                                       graph::gen::cycle(12));
+  const auto o = Oracle::build(g, opts(4, 9));
+  const auto forest = o.clusters_forest();
+  // Forest edges + per-cluster internal connectivity must reproduce the
+  // component structure: contract clusters, check the quotient.
+  const auto& d = o.decomposition();
+  primitives::UnionFind uf(g.num_vertices());
+  for (vertex_id v = 0; v < g.num_vertices(); ++v) {
+    const auto r = d.rho(v);
+    if (r.next_hop != graph::kNoVertex) uf.unite(v, r.next_hop);
+  }
+  for (const auto& e : forest) uf.unite(e.u, e.v);
+  const auto truth = testutil::brute_cc(g);
+  for (vertex_id u = 0; u < g.num_vertices(); ++u) {
+    for (vertex_id v = 0; v < g.num_vertices(); ++v) {
+      EXPECT_EQ(uf.connected(u, v), truth[u] == truth[v]);
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,152 @@
+// Tests for the connectivity family: sequential baselines, the prior-work
+// parallel baseline (Shun et al.), and the §4.2 write-efficient algorithm —
+// correctness on many families plus the Table 1 write-cost separations.
+#include <gtest/gtest.h>
+
+#include "amem/counters.hpp"
+#include "connectivity/baseline_parallel_cc.hpp"
+#include "connectivity/seq_cc.hpp"
+#include "connectivity/we_cc.hpp"
+#include "graph/generators.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace wecc;
+using connectivity::CcResult;
+using graph::Graph;
+using graph::vertex_id;
+
+struct Family {
+  const char* name;
+  Graph (*make)();
+};
+
+Graph f_grid() { return graph::gen::grid2d(17, 23); }
+Graph f_torus() { return graph::gen::grid2d(12, 12, true); }
+Graph f_rr() { return graph::gen::random_regular_ish(800, 4, 9); }
+Graph f_er_sparse() { return graph::gen::erdos_renyi(500, 600, 2); }
+Graph f_er_dense() { return graph::gen::erdos_renyi(300, 8000, 3); }
+Graph f_tree() { return graph::gen::random_tree(400, 8); }
+Graph f_star() { return graph::gen::star(200); }
+Graph f_multi() {
+  return graph::gen::disjoint_union(
+      graph::gen::disjoint_union(graph::gen::cycle(9),
+                                 graph::gen::grid2d(5, 5)),
+      graph::gen::path(7));
+}
+Graph f_isolated() { return Graph::from_edges(10, {{0, 1}, {2, 3}}); }
+Graph f_loops() {
+  return Graph::from_edges(5, {{0, 0}, {0, 1}, {1, 2}, {2, 2}, {3, 3}});
+}
+
+class CcFamilies : public ::testing::TestWithParam<Family> {};
+
+TEST_P(CcFamilies, AllAlgorithmsMatchBruteForce) {
+  const Graph g = GetParam().make();
+  const auto truth = testutil::brute_cc(g);
+  const std::size_t n = g.num_vertices();
+
+  const CcResult bfs = connectivity::bfs_cc(g);
+  EXPECT_TRUE(testutil::same_partition(truth, bfs.label.raw(), n)) << "bfs";
+
+  const CcResult uf = connectivity::union_find_cc(g);
+  EXPECT_TRUE(testutil::same_partition(truth, uf.label.raw(), n)) << "uf";
+
+  const CcResult shun = connectivity::shun_baseline_cc(g);
+  EXPECT_TRUE(testutil::same_partition(truth, shun.label.raw(), n))
+      << "shun";
+
+  for (const double beta : {1.0, 0.25, 0.05}) {
+    const CcResult we = connectivity::we_cc(g, beta, 77);
+    EXPECT_TRUE(testutil::same_partition(truth, we.label.raw(), n))
+        << "we beta=" << beta;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, CcFamilies,
+    ::testing::Values(Family{"grid", f_grid}, Family{"torus", f_torus},
+                      Family{"rr", f_rr}, Family{"er_sparse", f_er_sparse},
+                      Family{"er_dense", f_er_dense}, Family{"tree", f_tree},
+                      Family{"star", f_star}, Family{"multi", f_multi},
+                      Family{"isolated", f_isolated},
+                      Family{"loops", f_loops}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(CcCounts, ComponentCountsAgree) {
+  const Graph g = f_multi();
+  EXPECT_EQ(connectivity::bfs_cc(g).num_components, 3u);
+  EXPECT_EQ(connectivity::union_find_cc(g).num_components, 3u);
+  EXPECT_EQ(connectivity::we_cc(g, 0.25).num_components, 3u);
+  EXPECT_EQ(connectivity::shun_baseline_cc(g).num_components, 3u);
+}
+
+TEST(SpanningForest, BfsForestIsValid) {
+  const Graph g = f_multi();
+  const auto fr = connectivity::bfs_spanning_forest(g);
+  EXPECT_TRUE(
+      testutil::is_spanning_forest(g, fr.edges, fr.cc.num_components));
+}
+
+TEST(SpanningForest, WeForestIsValid) {
+  for (const auto make : {f_grid, f_rr, f_multi, f_er_dense}) {
+    const Graph g = make();
+    connectivity::WeCcOptions opt;
+    opt.beta = 0.2;
+    opt.want_forest = true;
+    const auto fr = connectivity::we_connectivity(g, opt);
+    EXPECT_TRUE(
+        testutil::is_spanning_forest(g, fr.edges, fr.cc.num_components));
+  }
+}
+
+// ---- Table 1 cost separations (the point of the paper) ----
+
+TEST(Table1, WeCcWritesSublinearInEdges) {
+  // Dense graph: m >> n. §4.2 with beta = 1/omega writes O(n + m/omega);
+  // the prior-work baseline writes Theta(m).
+  const std::size_t n = 600;
+  const Graph g = graph::gen::erdos_renyi(n, 30000, 21);
+  const std::size_t m = g.num_edges();
+  const std::uint64_t omega = 16;
+
+  amem::reset();
+  (void)connectivity::we_cc(g, 1.0 / double(omega), 5);
+  const auto we = amem::snapshot();
+
+  amem::reset();
+  (void)connectivity::shun_baseline_cc(g);
+  const auto base = amem::snapshot();
+
+  // Baseline is Theta(m) writes; ours is O(n + m/omega).
+  EXPECT_GE(base.writes, m);
+  EXPECT_LE(we.writes, 8 * n + 4 * m / omega);
+  // And the asymmetric work separates accordingly.
+  EXPECT_LT(we.work(omega), base.work(omega) / 2);
+}
+
+TEST(Table1, WeCcReadsStayLinear) {
+  // The write saving must not blow up reads: O(m) reads regardless of beta.
+  const Graph g = graph::gen::erdos_renyi(400, 20000, 9);
+  amem::reset();
+  (void)connectivity::we_cc(g, 1.0 / 64.0, 5);
+  const auto s = amem::snapshot();
+  EXPECT_LE(s.reads, 40 * g.num_edges());
+}
+
+TEST(Table1, BetaControlsWriteReadTradeoff) {
+  // Needs a large-diameter graph: on a diameter-2 graph every beta yields
+  // one giant part and the cut is trivially tiny.
+  const Graph g = graph::gen::grid2d(70, 70, true);
+  amem::Stats at_small, at_large;
+  amem::reset();
+  (void)connectivity::we_cc(g, 0.02, 5);
+  at_small = amem::snapshot();
+  amem::reset();
+  (void)connectivity::we_cc(g, 0.5, 5);
+  at_large = amem::snapshot();
+  EXPECT_LT(at_small.writes, at_large.writes);
+}
+
+}  // namespace

@@ -1,0 +1,346 @@
+// Tests for the implicit k-decomposition (§3, Theorem 3.1): definitional
+// invariants (cluster size <= k, connectivity, O(n/k) centers), rho/cluster
+// consistency, the tie-broken shortest-path semantics, cost bounds, small
+// components and virtual centers, and the parallel-children variant.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "amem/counters.hpp"
+#include "decomp/clusters_graph.hpp"
+#include "decomp/implicit_decomp.hpp"
+#include "graph/generators.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace wecc;
+using decomp::DecompOptions;
+using decomp::ImplicitDecomposition;
+using graph::Graph;
+using graph::vertex_id;
+
+using Decomp = ImplicitDecomposition<Graph>;
+
+DecompOptions opts(std::size_t k, std::uint64_t seed = 1,
+                   bool par_children = false) {
+  DecompOptions o;
+  o.k = k;
+  o.seed = seed;
+  o.parallel_children = par_children;
+  return o;
+}
+
+/// Assert the full Definition-2 contract on (g, d).
+void check_decomposition(const Graph& g, const Decomp& d, std::size_t k) {
+  const std::size_t n = g.num_vertices();
+  const auto cc = testutil::brute_cc(g);
+
+  std::map<vertex_id, std::vector<vertex_id>> clusters;
+  std::size_t virtual_members = 0;
+  for (vertex_id v = 0; v < n; ++v) {
+    const auto r = d.rho(v);
+    ASSERT_NE(r.center, graph::kNoVertex);
+    EXPECT_EQ(cc[r.center], cc[v]) << "center in same component";
+    if (r.virtual_center) {
+      ++virtual_members;
+      EXPECT_FALSE(d.is_center(r.center)) << "virtual centers are not stored";
+    } else {
+      EXPECT_TRUE(d.is_center(r.center));
+    }
+    clusters[r.center].push_back(v);
+    // Centers map to themselves with no next hop.
+    if (v == r.center) EXPECT_EQ(r.next_hop, graph::kNoVertex);
+  }
+
+  for (const auto& [s, members] : clusters) {
+    EXPECT_LE(members.size(), k) << "cluster size bound, center " << s;
+    // Cluster is connected: BFS within members from s reaches all.
+    std::set<vertex_id> mem(members.begin(), members.end());
+    EXPECT_TRUE(mem.count(s));
+    std::set<vertex_id> seen{s};
+    std::vector<vertex_id> st{s};
+    while (!st.empty()) {
+      const vertex_id u = st.back();
+      st.pop_back();
+      for (vertex_id w : g.neighbors_raw(u)) {
+        if (mem.count(w) && !seen.count(w)) {
+          seen.insert(w);
+          st.push_back(w);
+        }
+      }
+    }
+    EXPECT_EQ(seen.size(), mem.size()) << "cluster connected, center " << s;
+  }
+
+  // rho and cluster() agree.
+  for (const vertex_id s : d.center_list()) {
+    const auto c = d.cluster(s);
+    std::set<vertex_id> got(c.members.begin(), c.members.end());
+    std::set<vertex_id> want(clusters[s].begin(), clusters[s].end());
+    EXPECT_EQ(got, want) << "cluster(" << s << ")";
+    // Tree parents: parent is a member, adjacent, and rho(parent) == s.
+    for (std::size_t i = 1; i < c.members.size(); ++i) {
+      const vertex_id v = c.members[i], p = c.parent[i];
+      EXPECT_TRUE(got.count(p));
+      const auto nb = g.neighbors_raw(v);
+      EXPECT_TRUE(std::binary_search(nb.begin(), nb.end(), p));
+    }
+  }
+}
+
+TEST(Decomp, InvariantsOnTorus) {
+  const Graph g = graph::gen::grid2d(12, 12, true);
+  for (const std::size_t k : {2u, 4u, 8u, 16u}) {
+    check_decomposition(g, Decomp::build(g, opts(k)), k);
+  }
+}
+
+TEST(Decomp, InvariantsOnRandomRegular) {
+  const Graph g = graph::gen::random_regular_ish(600, 4, 3);
+  check_decomposition(g, Decomp::build(g, opts(8)), 8);
+}
+
+TEST(Decomp, InvariantsOnTreesAndPaths) {
+  check_decomposition(graph::gen::path(100),
+                      Decomp::build(graph::gen::path(100), opts(5)), 5);
+  const Graph t = graph::gen::random_tree(300, 5);
+  check_decomposition(t, Decomp::build(t, opts(6)), 6);
+}
+
+TEST(Decomp, InvariantsOnFigure1LikeGraph) {
+  const Graph g = graph::gen::figure1_like_graph();
+  check_decomposition(g, Decomp::build(g, opts(4, 3)), 4);
+}
+
+TEST(Decomp, CenterCountIsOofNOverK) {
+  // |S| = O(n/k): primaries ~ n/k, secondaries bounded by splits.
+  const Graph g = graph::gen::grid2d(40, 40, true);
+  const std::size_t n = g.num_vertices();
+  for (const std::size_t k : {4u, 8u, 16u}) {
+    const auto d = Decomp::build(g, opts(k, 5));
+    EXPECT_LE(d.center_list().size(), 8 * n / k) << "k=" << k;
+    EXPECT_GE(d.center_list().size(), n / (4 * k)) << "k=" << k;
+  }
+}
+
+TEST(Decomp, PrimaryAndSecondaryLabelsPreserved) {
+  const Graph g = graph::gen::grid2d(15, 15);
+  const auto d = Decomp::build(g, opts(6, 2));
+  std::size_t primaries = 0, secondaries = 0;
+  for (const vertex_id c : d.center_list()) {
+    d.centers().is_primary(c) ? ++primaries : ++secondaries;
+  }
+  EXPECT_GT(primaries, 0u);
+  // Secondaries appear whenever a sampled cluster overflows k.
+  EXPECT_GT(secondaries, 0u);
+}
+
+TEST(Decomp, RhoPathStaysInOwnCluster) {
+  // Walking next_hop repeatedly must reach the center within the cluster
+  // (Corollary 3.4), in < k steps.
+  const Graph g = graph::gen::random_regular_ish(400, 3, 8);
+  const auto d = Decomp::build(g, opts(8, 4));
+  for (vertex_id v = 0; v < g.num_vertices(); ++v) {
+    const auto r = d.rho(v);
+    vertex_id x = v;
+    std::size_t steps = 0;
+    while (x != r.center) {
+      const auto rx = d.rho(x);
+      ASSERT_EQ(rx.center, r.center) << "path vertex changed cluster";
+      x = rx.next_hop;
+      ASSERT_LT(++steps, 5 * d.k()) << "path too long from " << v;
+    }
+  }
+}
+
+TEST(Decomp, DeterministicInSeed) {
+  const Graph g = graph::gen::random_regular_ish(300, 4, 6);
+  const auto a = Decomp::build(g, opts(6, 9));
+  const auto b = Decomp::build(g, opts(6, 9));
+  EXPECT_EQ(a.center_list(), b.center_list());
+  const auto c = Decomp::build(g, opts(6, 10));
+  EXPECT_NE(a.center_list(), c.center_list());
+}
+
+TEST(Decomp, SmallComponentsGetVirtualCenters) {
+  // Components of size < k with no sampled vertex: rho reports the minimum
+  // vertex as a virtual center; nothing is stored for them.
+  graph::EdgeList edges{{0, 1}, {1, 2}};  // tiny component {0,1,2}
+  const Graph big = graph::gen::grid2d(10, 10);
+  Graph g = graph::gen::disjoint_union(Graph::from_edges(3, edges), big);
+  // Seed chosen so {0,1,2} has no primary (checked dynamically below).
+  for (std::uint64_t seed = 1; seed < 50; ++seed) {
+    const auto d = Decomp::build(g, opts(8, seed));
+    if (d.is_center(0) || d.is_center(1) || d.is_center(2)) continue;
+    const auto r0 = d.rho(0), r1 = d.rho(1), r2 = d.rho(2);
+    EXPECT_TRUE(r0.virtual_center);
+    EXPECT_EQ(r0.center, 0u);
+    EXPECT_EQ(r1.center, 0u);
+    EXPECT_EQ(r2.center, 0u);
+    EXPECT_EQ(r1.next_hop, 0u);
+    EXPECT_EQ(r2.next_hop, 1u);
+    return;  // found a seed exercising the path
+  }
+  FAIL() << "no seed left {0,1,2} unsampled";
+}
+
+TEST(Decomp, LargeUnsampledComponentPromotesMinimum) {
+  // With k = n the sampling probability is 1/n per vertex; most seeds leave
+  // a 64-vertex cycle unsampled, forcing the promotion path.
+  const Graph g = graph::gen::cycle(64);
+  for (std::uint64_t seed = 1; seed < 100; ++seed) {
+    const auto d = Decomp::build(g, opts(32, seed));
+    bool sampled = false;
+    for (vertex_id v = 0; v < 64 && !sampled; ++v) {
+      sampled = parallel::bernoulli(seed, v, 1.0 / 32.0);
+    }
+    if (sampled) continue;
+    EXPECT_TRUE(d.is_center(0)) << "minimum promoted to primary";
+    EXPECT_TRUE(d.centers().is_primary(0));
+    check_decomposition(g, d, 32);
+    return;
+  }
+  GTEST_SKIP() << "every seed sampled the cycle (unlikely)";
+}
+
+TEST(Decomp, ParallelChildrenVariantStillValid) {
+  const Graph g = graph::gen::grid2d(16, 16, true);
+  const auto d = Decomp::build(g, opts(8, 3, /*par_children=*/true));
+  check_decomposition(g, d, 8);
+}
+
+TEST(Decomp, TieBreakingPrefersSmallerIds) {
+  // Path 0-1-2-3-4 with primaries forced at both ends via k=2 search:
+  // deterministic check of the lexicographic rule on a diamond.
+  //    1 - 3
+  //  0        4 ; 0-1,0-2,1-3,2-3,3-4; rho-BFS from 4 must prefer 3,1,0.
+  const Graph g =
+      Graph::from_edges(5, {{0, 1}, {0, 2}, {1, 3}, {2, 3}, {3, 4}});
+  // Find a seed where only vertex 0 is primary.
+  for (std::uint64_t seed = 1; seed < 200; ++seed) {
+    bool only0 = parallel::bernoulli(seed, 0, 0.5);
+    for (vertex_id v = 1; v < 5 && only0; ++v) {
+      only0 = !parallel::bernoulli(seed, v, 0.5);
+    }
+    if (!only0) continue;
+    const auto d = Decomp::build(g, opts(2, seed));
+    // rho0(4) = 0 via 4-3-1-0 (1 beats 2 at the divergence).
+    const auto r = d.rho(4);
+    (void)r;  // center depends on secondaries; the key check is next_hop
+    EXPECT_EQ(d.rho(3).next_hop == 1u || d.is_center(3), true);
+    return;
+  }
+  GTEST_SKIP() << "no suitable seed";
+}
+
+// ---- Cost bounds (Theorem 3.1), measured ----
+
+TEST(DecompCosts, ConstructionWritesAreNOverK) {
+  const Graph g = graph::gen::grid2d(50, 50, true);
+  const std::size_t n = g.num_vertices();
+  for (const std::size_t k : {4u, 16u}) {
+    amem::reset();
+    const auto d = Decomp::build(g, opts(k, 7));
+    const auto s = amem::snapshot();
+    // Writes: hash inserts + center list, all O(n/k) (slack 16 covers the
+    // secondary-center constant).
+    EXPECT_LE(s.writes, 16 * n / k + 64) << "k=" << k;
+    (void)d;
+  }
+}
+
+TEST(DecompCosts, ConstructionReadsScaleWithKn) {
+  const Graph g = graph::gen::grid2d(40, 40, true);
+  amem::Stats small_k, large_k;
+  amem::reset();
+  (void)Decomp::build(g, opts(4, 7));
+  small_k = amem::snapshot();
+  amem::reset();
+  (void)Decomp::build(g, opts(16, 7));
+  large_k = amem::snapshot();
+  // Reads grow with k (O(kn)); at least not shrink.
+  EXPECT_GT(large_k.reads, small_k.reads);
+}
+
+TEST(DecompCosts, RhoCostsOkReadsNoWrites) {
+  const Graph g = graph::gen::grid2d(40, 40, true);
+  const std::size_t k = 8;
+  const auto d = Decomp::build(g, opts(k, 11));
+  amem::reset();
+  std::uint64_t total_reads = 0;
+  const std::size_t q = 400;
+  for (vertex_id v = 0; v < q; ++v) {
+    amem::Phase p;
+    (void)d.rho(v);
+    const auto del = p.delta();
+    EXPECT_EQ(del.writes, 0u) << "rho must not write";
+    total_reads += del.reads;
+  }
+  // Average O(k) with a generous constant (bounded degree 4 + probes).
+  EXPECT_LE(total_reads / q, 60 * k);
+}
+
+TEST(DecompCosts, ClusterCostsOkSquaredReadsNoWrites) {
+  const Graph g = graph::gen::grid2d(30, 30, true);
+  const std::size_t k = 8;
+  const auto d = Decomp::build(g, opts(k, 13));
+  std::uint64_t total = 0;
+  std::size_t cnt = 0;
+  for (const vertex_id s : d.center_list()) {
+    amem::Phase p;
+    (void)d.cluster(s);
+    EXPECT_EQ(p.delta().writes, 0u);
+    total += p.delta().reads;
+    ++cnt;
+  }
+  EXPECT_LE(total / cnt, 80 * k * k);
+}
+
+// ---- Implicit clusters graph (Lemma 4.3) ----
+
+TEST(ClustersGraph, EdgesMatchBoundaryTruth) {
+  const Graph g = graph::gen::grid2d(14, 14, true);
+  const auto d = Decomp::build(g, opts(6, 17));
+  const decomp::ClustersGraph<Graph> cg(d);
+  // Ground truth: project every edge through rho.
+  std::vector<vertex_id> center_of(g.num_vertices());
+  for (vertex_id v = 0; v < g.num_vertices(); ++v) {
+    center_of[v] = d.rho(v).center;
+  }
+  std::multiset<std::pair<vertex_id, vertex_id>> want;
+  for (const auto& e : g.edge_list()) {
+    if (e.u == e.v) continue;
+    const auto cu = center_of[e.u], cv = center_of[e.v];
+    if (cu != cv) {
+      want.insert({std::min(cu, cv), std::max(cu, cv)});
+    }
+  }
+  std::multiset<std::pair<vertex_id, vertex_id>> got;
+  for (std::size_t ci = 0; ci < cg.num_vertices(); ++ci) {
+    const vertex_id cs = d.center_list()[ci];
+    cg.for_boundary_edges(vertex_id(ci), [&](vertex_id cj, vertex_id u,
+                                             vertex_id w) {
+      const vertex_id co = d.center_list()[cj];
+      EXPECT_EQ(center_of[u], cs);
+      EXPECT_EQ(center_of[w], co);
+      if (cs < co) got.insert({cs, co});  // count each edge from one side
+    });
+  }
+  EXPECT_EQ(got, want);
+}
+
+TEST(ClustersGraph, NeighborListingNeverWrites) {
+  const Graph g = graph::gen::grid2d(12, 12);
+  const auto d = Decomp::build(g, opts(5, 19));
+  const decomp::ClustersGraph<Graph> cg(d);
+  amem::Phase p;
+  for (std::size_t ci = 0; ci < cg.num_vertices(); ++ci) {
+    cg.for_neighbors(vertex_id(ci), [](vertex_id) {});
+  }
+  EXPECT_EQ(p.delta().writes, 0u);
+}
+
+}  // namespace

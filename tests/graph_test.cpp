@@ -1,0 +1,190 @@
+// Unit tests for the CSR graph, generators, and edge-list I/O.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "amem/counters.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/io.hpp"
+
+namespace {
+
+using namespace wecc;
+using graph::Edge;
+using graph::Graph;
+using graph::vertex_id;
+
+TEST(Graph, BuildsSortedAdjacency) {
+  const Graph g = Graph::from_edges(4, {{1, 0}, {3, 1}, {1, 2}});
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  const auto n1 = g.neighbors_raw(1);
+  ASSERT_EQ(n1.size(), 3u);
+  EXPECT_EQ(n1[0], 0u);
+  EXPECT_EQ(n1[1], 2u);
+  EXPECT_EQ(n1[2], 3u);
+}
+
+TEST(Graph, SelfLoopStoredOnce) {
+  const Graph g = Graph::from_edges(2, {{0, 0}, {0, 1}});
+  EXPECT_EQ(g.degree_raw(0), 2u);  // loop once + edge
+  EXPECT_EQ(g.degree_raw(1), 1u);
+}
+
+TEST(Graph, ParallelEdgesPreserved) {
+  const Graph g = Graph::from_edges(2, {{0, 1}, {0, 1}, {1, 0}});
+  EXPECT_EQ(g.degree_raw(0), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+}
+
+TEST(Graph, ForNeighborsChargesOnePlusDegReads) {
+  const Graph g = Graph::from_edges(3, {{0, 1}, {0, 2}});
+  amem::reset();
+  int cnt = 0;
+  g.for_neighbors(0, [&](vertex_id) { ++cnt; });
+  EXPECT_EQ(cnt, 2);
+  EXPECT_EQ(amem::snapshot().reads, 3u);
+  EXPECT_EQ(amem::snapshot().writes, 0u);
+}
+
+TEST(Graph, EdgeListRoundTrip) {
+  const Graph g = graph::gen::grid2d(3, 4);
+  const Graph h = Graph::from_edges(g.num_vertices(), g.edge_list());
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  for (vertex_id v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(h.degree_raw(v), g.degree_raw(v));
+  }
+}
+
+TEST(Generators, PathAndCycleShapes) {
+  const Graph p = graph::gen::path(5);
+  EXPECT_EQ(p.num_edges(), 4u);
+  EXPECT_EQ(p.max_degree(), 2u);
+  const Graph c = graph::gen::cycle(5);
+  EXPECT_EQ(c.num_edges(), 5u);
+  for (vertex_id v = 0; v < 5; ++v) EXPECT_EQ(c.degree_raw(v), 2u);
+}
+
+TEST(Generators, TorusIsFourRegular) {
+  const Graph t = graph::gen::grid2d(5, 6, /*wrap=*/true);
+  for (vertex_id v = 0; v < t.num_vertices(); ++v) {
+    EXPECT_EQ(t.degree_raw(v), 4u) << v;
+  }
+}
+
+TEST(Generators, GridHasExpectedEdgeCount) {
+  const Graph g = graph::gen::grid2d(7, 9);
+  EXPECT_EQ(g.num_vertices(), 63u);
+  EXPECT_EQ(g.num_edges(), 7u * 8 + 6u * 9);
+  EXPECT_LE(g.max_degree(), 4u);
+}
+
+TEST(Generators, CompleteGraph) {
+  const Graph g = graph::gen::complete(6);
+  EXPECT_EQ(g.num_edges(), 15u);
+  EXPECT_EQ(g.max_degree(), 5u);
+}
+
+TEST(Generators, StarIsUnboundedDegree) {
+  const Graph g = graph::gen::star(50);
+  EXPECT_EQ(g.degree_raw(0), 49u);
+  EXPECT_EQ(g.max_degree(), 49u);
+}
+
+TEST(Generators, BinaryAndRandomTreesAreTrees) {
+  for (const Graph& g :
+       {graph::gen::binary_tree(31), graph::gen::random_tree(64, 7)}) {
+    EXPECT_EQ(g.num_edges(), g.num_vertices() - 1);
+  }
+}
+
+TEST(Generators, RandomRegularIshRespectsDegreeBound) {
+  const Graph g = graph::gen::random_regular_ish(500, 4, 3);
+  EXPECT_LE(g.max_degree(), 4u);
+  EXPECT_GE(g.num_edges(), 500u);  // ~2m/2 per round, deduped
+}
+
+TEST(Generators, RandomRegularIshDeterministicInSeed) {
+  const Graph a = graph::gen::random_regular_ish(200, 3, 11);
+  const Graph b = graph::gen::random_regular_ish(200, 3, 11);
+  const Graph c = graph::gen::random_regular_ish(200, 3, 12);
+  EXPECT_EQ(a.edge_list().size(), b.edge_list().size());
+  EXPECT_TRUE(a.edge_list() == b.edge_list());
+  EXPECT_FALSE(a.edge_list() == c.edge_list());
+}
+
+TEST(Generators, ErdosRenyiHasRequestedEdges) {
+  const Graph g = graph::gen::erdos_renyi(100, 700, 5);
+  EXPECT_EQ(g.num_edges(), 700u);
+}
+
+TEST(Generators, PreferentialAttachmentSkews) {
+  const Graph g = graph::gen::preferential_attachment(300, 2, 17);
+  EXPECT_GT(g.max_degree(), 10u);  // a hub emerges
+}
+
+TEST(Generators, CactusChainShape) {
+  const Graph g = graph::gen::cactus_chain(3, 4);
+  // 3 cycles of length 4 sharing one vertex pairwise: 4 + 3 + 3 vertices.
+  EXPECT_EQ(g.num_vertices(), 10u);
+  EXPECT_EQ(g.num_edges(), 12u);
+}
+
+TEST(Generators, BarbellHasSingleBridge) {
+  const Graph g = graph::gen::barbell(4);
+  EXPECT_EQ(g.num_vertices(), 8u);
+  EXPECT_EQ(g.num_edges(), 2u * 6 + 1);
+}
+
+TEST(Generators, PercolationGridRespectsProbability) {
+  const Graph full = graph::gen::percolation_grid(30, 30, 1.0, 1);
+  const Graph none = graph::gen::percolation_grid(30, 30, 0.0, 1);
+  const Graph half = graph::gen::percolation_grid(30, 30, 0.5, 1);
+  EXPECT_EQ(full.num_edges(), graph::gen::grid2d(30, 30).num_edges());
+  EXPECT_EQ(none.num_edges(), 0u);
+  EXPECT_NEAR(double(half.num_edges()) / double(full.num_edges()), 0.5,
+              0.05);
+}
+
+TEST(Generators, DisjointUnionShiftsIds) {
+  const Graph g = graph::gen::disjoint_union(graph::gen::path(3),
+                                             graph::gen::cycle(3));
+  EXPECT_EQ(g.num_vertices(), 6u);
+  EXPECT_EQ(g.num_edges(), 2u + 3u);
+  EXPECT_EQ(g.degree_raw(3), 2u);
+}
+
+TEST(Generators, Figure2GraphShape) {
+  const Graph g = graph::gen::figure2_graph();
+  EXPECT_EQ(g.num_vertices(), 9u);
+  EXPECT_EQ(g.num_edges(), 11u);
+}
+
+TEST(Io, RoundTripThroughStream) {
+  const Graph g = graph::gen::random_regular_ish(40, 3, 2);
+  std::stringstream ss;
+  graph::io::write_edge_list(g, ss);
+  const Graph h = graph::io::read_edge_list(ss);
+  EXPECT_EQ(h.num_vertices(), g.num_vertices());
+  EXPECT_TRUE(h.edge_list() == g.edge_list());
+}
+
+TEST(Io, RejectsMalformedInput) {
+  std::stringstream empty;
+  EXPECT_THROW(graph::io::read_edge_list(empty), std::runtime_error);
+  std::stringstream bad("2 1\n5 0\n");
+  EXPECT_THROW(graph::io::read_edge_list(bad), std::runtime_error);
+  std::stringstream miscount("3 2\n0 1\n");
+  EXPECT_THROW(graph::io::read_edge_list(miscount), std::runtime_error);
+}
+
+TEST(Io, AllowsComments) {
+  std::stringstream ss("# header\n3 1\n# edge\n0 2\n");
+  const Graph g = graph::io::read_edge_list(ss);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree_raw(2), 1u);
+}
+
+}  // namespace

@@ -1,0 +1,145 @@
+// Cross-module integration tests: the full pipeline on one realistic graph,
+// cross-consistency between independent structures, the symmetric-memory
+// bounds of Theorem 3.1 / 1.2, determinism, and the articulation
+// enumeration API.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "amem/counters.hpp"
+#include "amem/sym_scratch.hpp"
+#include "biconn/bc_labeling.hpp"
+#include "biconn/biconn_oracle.hpp"
+#include "connectivity/cc_oracle.hpp"
+#include "connectivity/we_cc.hpp"
+#include "graph/generators.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace wecc;
+using graph::Graph;
+using graph::vertex_id;
+
+/// A "metro network": meshes (biconnected) chained by single links, plus a
+/// detached percolation fragment — components, bridges, articulation
+/// points, virtual components all present at once.
+Graph integration_graph() {
+  Graph g = graph::gen::grid2d(6, 7, true);
+  for (int s = 0; s < 2; ++s) {
+    const auto old_n = vertex_id(g.num_vertices());
+    g = graph::gen::disjoint_union(g, graph::gen::grid2d(5, 5, true));
+    graph::EdgeList e = g.edge_list();
+    e.push_back({vertex_id(old_n - 1), old_n});
+    g = Graph::from_edges(g.num_vertices(), e);
+  }
+  g = graph::gen::disjoint_union(g, graph::gen::path(3));  // tiny component
+  return g;
+}
+
+TEST(Integration, AllStructuresAgree) {
+  const Graph g = integration_graph();
+  const std::size_t n = g.num_vertices();
+
+  const auto cc = connectivity::we_cc(g, 0.125, 3);
+  connectivity::CcOracleOptions copt;
+  copt.k = 5;
+  const auto co =
+      connectivity::ConnectivityOracle<Graph>::build(g, copt);
+  const auto bc = biconn::BcLabeling::build(g);
+  biconn::BiconnOracleOptions bopt;
+  bopt.k = 5;
+  const auto bo = biconn::BiconnectivityOracle<Graph>::build(g, bopt);
+
+  for (vertex_id u = 0; u < n; ++u) {
+    for (vertex_id v = 0; v < n; ++v) {
+      const bool conn = cc.connected(u, v);
+      EXPECT_EQ(co.connected(u, v), conn) << u << "," << v;
+      EXPECT_EQ(bo.component_of(u) == bo.component_of(v), conn);
+      EXPECT_EQ(bc.same_component(u, v), conn);
+      // Biconnectivity from the two independent §5 structures.
+      EXPECT_EQ(bo.biconnected(u, v), bc.same_bcc(u, v)) << u << "," << v;
+      EXPECT_EQ(bo.two_edge_connected(u, v), bc.two_edge_connected(u, v));
+    }
+  }
+  for (const auto& e : g.edge_list()) {
+    EXPECT_EQ(bo.is_bridge(e.u, e.v), bc.is_bridge(g, e.u, e.v));
+  }
+  for (vertex_id v = 0; v < n; ++v) {
+    EXPECT_EQ(bo.is_articulation(v), bc.is_articulation(v)) << v;
+  }
+}
+
+TEST(Integration, ArticulationEnumerationMatchesPointQueries) {
+  const Graph g = integration_graph();
+  biconn::BiconnOracleOptions opt;
+  opt.k = 5;
+  const auto bo = biconn::BiconnectivityOracle<Graph>::build(g, opt);
+  std::set<vertex_id> enumerated;
+  amem::Phase p;
+  bo.for_each_articulation(
+      [&](vertex_id v) { enumerated.insert(v); });
+  EXPECT_EQ(p.delta().writes, 0u) << "enumeration must not write";
+  std::set<vertex_id> expected;
+  for (vertex_id v = 0; v < g.num_vertices(); ++v) {
+    if (bo.is_articulation(v)) expected.insert(v);
+  }
+  EXPECT_EQ(enumerated, expected);
+}
+
+TEST(Integration, SymmetricMemoryStaysWithinKLogN) {
+  // Theorem 3.1 / 1.2: construction and queries use O(k log n) words of
+  // symmetric memory per task (cluster-sized searches and local graphs).
+  const Graph g = graph::gen::grid2d(60, 60, true);
+  const std::size_t n = g.num_vertices();
+  const std::size_t k = 8;
+  decomp::DecompOptions opt;
+  opt.k = k;
+  amem::sym_reset_peak();
+  const auto d = decomp::ImplicitDecomposition<Graph>::build(g, opt);
+  for (vertex_id v = 0; v < 200; ++v) (void)d.rho(v);
+  const double logn = std::log2(double(n));
+  // Generous constant: hash-map scratch entries count several words each.
+  EXPECT_LE(amem::sym_peak_words(), std::int64_t(64.0 * k * logn))
+      << "scratch exceeded O(k log n) words";
+}
+
+TEST(Integration, EndToEndDeterminism) {
+  const Graph g = integration_graph();
+  connectivity::CcOracleOptions copt;
+  copt.k = 4;
+  copt.seed = 11;
+  const auto a = connectivity::ConnectivityOracle<Graph>::build(g, copt);
+  const auto b = connectivity::ConnectivityOracle<Graph>::build(g, copt);
+  biconn::BiconnOracleOptions bopt;
+  bopt.k = 4;
+  bopt.seed = 11;
+  const auto x = biconn::BiconnectivityOracle<Graph>::build(g, bopt);
+  const auto y = biconn::BiconnectivityOracle<Graph>::build(g, bopt);
+  for (vertex_id v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(a.component_of(v), b.component_of(v));
+    EXPECT_EQ(x.is_articulation(v), y.is_articulation(v));
+  }
+  for (const auto& e : g.edge_list()) {
+    const auto ex = x.edge_bcc(e.u, e.v), ey = y.edge_bcc(e.u, e.v);
+    ASSERT_EQ(ex.has_value(), ey.has_value());
+    if (ex) EXPECT_TRUE(*ex == *ey);
+  }
+}
+
+TEST(Integration, BruteForceBackstop) {
+  // Nothing in the fancy stack may disagree with the dumbest possible
+  // implementation on the integration graph.
+  const Graph g = integration_graph();
+  const auto truth = testutil::brute_cc(g);
+  connectivity::CcOracleOptions copt;
+  copt.k = 6;
+  const auto co = connectivity::ConnectivityOracle<Graph>::build(g, copt);
+  std::vector<vertex_id> got(g.num_vertices());
+  for (vertex_id v = 0; v < g.num_vertices(); ++v) {
+    got[v] = co.component_of(v);
+  }
+  EXPECT_TRUE(testutil::same_partition(truth, got, g.num_vertices()));
+}
+
+}  // namespace

@@ -1,0 +1,175 @@
+// Tests for the write-efficient low-diameter decomposition (Theorem 4.1):
+// partition validity, beta*m cut-edge bound, O(log n / beta) diameters,
+// O(n) writes, and in-part BFS-tree validity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <queue>
+
+#include "amem/counters.hpp"
+#include "graph/generators.hpp"
+#include "ldd/ldd.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace wecc;
+using graph::Graph;
+using graph::kNoVertex;
+using graph::vertex_id;
+
+std::size_t cut_edges(const Graph& g, const ldd::LddResult& r) {
+  std::size_t cut = 0;
+  for (const auto& e : g.edge_list()) {
+    if (e.u != e.v && r.cluster.raw()[e.u] != r.cluster.raw()[e.v]) ++cut;
+  }
+  return cut;
+}
+
+TEST(Ldd, EveryVertexClaimedWithConsistentParent) {
+  const Graph g = graph::gen::grid2d(15, 15);
+  const auto r = ldd::decompose(g, 0.25, 7);
+  for (vertex_id v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_NE(r.cluster.raw()[v], kNoVertex);
+    const vertex_id p = r.parent.raw()[v];
+    ASSERT_NE(p, kNoVertex);
+    if (p == v) {
+      EXPECT_EQ(r.cluster.raw()[v], v);  // a source
+    } else {
+      EXPECT_EQ(r.cluster.raw()[p], r.cluster.raw()[v]);
+      const auto nb = g.neighbors_raw(v);
+      EXPECT_TRUE(std::binary_search(nb.begin(), nb.end(), p));
+    }
+  }
+}
+
+TEST(Ldd, PartsAreConnectedViaParents) {
+  const Graph g = graph::gen::random_regular_ish(400, 4, 3);
+  const auto r = ldd::decompose(g, 0.3, 11);
+  // Chasing parents from any vertex must reach that part's source.
+  for (vertex_id v = 0; v < g.num_vertices(); ++v) {
+    vertex_id x = v;
+    for (int step = 0; step < 10000; ++step) {
+      if (r.parent.raw()[x] == x) break;
+      x = r.parent.raw()[x];
+    }
+    EXPECT_EQ(x, r.cluster.raw()[v]);
+  }
+}
+
+TEST(Ldd, RespectsComponentBoundaries) {
+  const Graph g = graph::gen::disjoint_union(graph::gen::cycle(10),
+                                             graph::gen::grid2d(4, 4));
+  const auto r = ldd::decompose(g, 0.5, 1);
+  const auto cc = testutil::brute_cc(g);
+  for (vertex_id v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(cc[r.cluster.raw()[v]], cc[v]);  // source in same component
+  }
+}
+
+TEST(Ldd, CutEdgesWithinExpectedBound) {
+  // E[cut] <= beta * m; allow 2.5x slack for a single sample.
+  const Graph g = graph::gen::grid2d(60, 60, /*wrap=*/true);
+  const std::size_t m = g.num_edges();
+  for (const double beta : {0.05, 0.2, 0.5}) {
+    const auto r = ldd::decompose(g, beta, 99);
+    EXPECT_LE(double(cut_edges(g, r)), 2.5 * beta * double(m)) << beta;
+  }
+}
+
+TEST(Ldd, SmallerBetaMeansFewerCutEdgesAndMoreRounds) {
+  const Graph g = graph::gen::random_regular_ish(2000, 4, 5);
+  const auto coarse = ldd::decompose(g, 0.5, 13);
+  const auto fine = ldd::decompose(g, 0.05, 13);
+  EXPECT_LT(cut_edges(g, fine), cut_edges(g, coarse));
+  EXPECT_GT(fine.rounds, coarse.rounds);
+}
+
+TEST(Ldd, RoundsBoundedByLogOverBeta) {
+  const Graph g = graph::gen::grid2d(50, 50);
+  const double beta = 0.2;
+  const auto r = ldd::decompose(g, beta, 23);
+  const double bound = 8.0 * std::log(double(g.num_vertices())) / beta;
+  EXPECT_LE(double(r.rounds), bound);
+}
+
+TEST(Ldd, WritesLinearInVerticesNotEdges) {
+  const Graph g = graph::gen::erdos_renyi(500, 20000, 31);
+  amem::reset();
+  const auto r = ldd::decompose(g, 0.125, 7);
+  const auto s = amem::snapshot();
+  // start + bucket + claim + parent ~ 4n writes; never ~m. (Reads can be
+  // below 2m: once every vertex is claimed the last frontier never expands.)
+  EXPECT_LE(s.writes, 6 * g.num_vertices());
+  EXPECT_GE(s.reads, g.num_vertices());
+  (void)r;
+}
+
+TEST(Ldd, DeterministicInSeed) {
+  const Graph g = graph::gen::random_regular_ish(300, 3, 17);
+  const auto a = ldd::decompose(g, 0.2, 5);
+  const auto b = ldd::decompose(g, 0.2, 5);
+  const auto c = ldd::decompose(g, 0.2, 6);
+  EXPECT_TRUE(a.cluster.raw() == b.cluster.raw());
+  EXPECT_FALSE(a.cluster.raw() == c.cluster.raw());
+}
+
+TEST(Ldd, CentersListMatchesClusterIds) {
+  const Graph g = graph::gen::grid2d(12, 12);
+  const auto r = ldd::decompose(g, 0.3, 3);
+  std::set<vertex_id> ids;
+  for (vertex_id v = 0; v < g.num_vertices(); ++v) {
+    ids.insert(r.cluster.raw()[v]);
+  }
+  EXPECT_EQ(ids.size(), r.centers.size());
+  for (vertex_id c : r.centers) EXPECT_TRUE(ids.count(c));
+}
+
+TEST(Ldd, SingletonAndEmptyGraphs) {
+  const Graph g1 = Graph::from_edges(1, {});
+  const auto r1 = ldd::decompose(g1, 0.5, 1);
+  EXPECT_EQ(r1.centers.size(), 1u);
+  const Graph g0 = Graph::from_edges(0, {});
+  const auto r0 = ldd::decompose(g0, 0.5, 1);
+  EXPECT_TRUE(r0.centers.empty());
+}
+
+// Parameterized sweep: partition validity across graph families and betas.
+struct LddCase {
+  const char* name;
+  Graph (*make)();
+  double beta;
+};
+
+Graph make_torus() { return graph::gen::grid2d(20, 20, true); }
+Graph make_tree() { return graph::gen::random_tree(500, 3); }
+Graph make_dense() { return graph::gen::erdos_renyi(200, 5000, 4); }
+Graph make_star() { return graph::gen::star(300); }
+
+class LddFamilies : public ::testing::TestWithParam<LddCase> {};
+
+TEST_P(LddFamilies, ValidPartition) {
+  const auto& pc = GetParam();
+  const Graph g = pc.make();
+  const auto r = ldd::decompose(g, pc.beta, 77);
+  const auto cc = testutil::brute_cc(g);
+  for (vertex_id v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_NE(r.cluster.raw()[v], kNoVertex);
+    EXPECT_EQ(cc[r.cluster.raw()[v]], cc[v]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, LddFamilies,
+    ::testing::Values(LddCase{"torus", make_torus, 0.1},
+                      LddCase{"torus2", make_torus, 0.5},
+                      LddCase{"tree", make_tree, 0.2},
+                      LddCase{"dense", make_dense, 0.2},
+                      LddCase{"star", make_star, 0.3}),
+    [](const auto& info) {
+      return std::string(info.param.name) + "_" +
+             std::to_string(int(info.param.beta * 100));
+    });
+
+}  // namespace

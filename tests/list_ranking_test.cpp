@@ -1,0 +1,109 @@
+// Tests for list ranking and the parallel Euler-tour TreeArrays builder.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "parallel/rng.hpp"
+#include "primitives/bfs.hpp"
+#include "primitives/list_ranking.hpp"
+
+namespace {
+
+using namespace wecc;
+using graph::Graph;
+using graph::vertex_id;
+using primitives::kListEnd;
+
+TEST(ListRank, SingleChain) {
+  // 0 -> 1 -> 2 -> 3 (ranks: hops to tail).
+  std::vector<std::uint32_t> next{1, 2, 3, kListEnd};
+  const auto r = primitives::list_rank(next);
+  EXPECT_EQ(r, (std::vector<std::uint32_t>{3, 2, 1, 0}));
+}
+
+TEST(ListRank, MultipleListsAndSingletons) {
+  //  list A: 4 -> 2 -> 0;  list B: 3 -> 1;  singleton: 5.
+  std::vector<std::uint32_t> next{kListEnd, kListEnd, 0, 1, 2, kListEnd};
+  const auto r = primitives::list_rank(next);
+  EXPECT_EQ(r[4], 2u);
+  EXPECT_EQ(r[2], 1u);
+  EXPECT_EQ(r[0], 0u);
+  EXPECT_EQ(r[3], 1u);
+  EXPECT_EQ(r[1], 0u);
+  EXPECT_EQ(r[5], 0u);
+}
+
+TEST(ListRank, LongListExactRanks) {
+  constexpr std::size_t n = 10000;
+  std::vector<std::uint32_t> next(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) next[i] = std::uint32_t(i + 1);
+  next[n - 1] = kListEnd;
+  const auto r = primitives::list_rank(next);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(r[i], std::uint32_t(n - 1 - i)) << i;
+  }
+}
+
+TEST(ListRank, EmptyInput) {
+  EXPECT_TRUE(primitives::list_rank({}).empty());
+}
+
+TEST(ResolveRoots, ForestPointerJumping) {
+  // Two trees: 0<-1<-2, 3<-4.
+  const std::vector<vertex_id> parent{0, 0, 1, 3, 3};
+  const auto roots = primitives::resolve_roots(parent);
+  EXPECT_EQ(roots, (std::vector<vertex_id>{0, 0, 0, 3, 3}));
+}
+
+void expect_same_arrays(const primitives::TreeArrays& a,
+                        const primitives::TreeArrays& b) {
+  ASSERT_EQ(a.parent, b.parent);
+  EXPECT_EQ(a.depth, b.depth);
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.last, b.last);
+  EXPECT_EQ(a.preorder, b.preorder);
+}
+
+TEST(ParallelTreeArrays, MatchesSequentialOnBinaryTree) {
+  const Graph g = graph::gen::binary_tree(63);
+  const auto f = primitives::bfs_forest(g, 0);
+  expect_same_arrays(primitives::build_tree_arrays(f.parent.raw()),
+                     primitives::parallel_tree_arrays(f.parent.raw()));
+}
+
+TEST(ParallelTreeArrays, MatchesSequentialOnPathAndStar) {
+  for (const auto& g : {graph::gen::path(40), graph::gen::star(40)}) {
+    const auto f = primitives::bfs_forest(g, 0);
+    expect_same_arrays(primitives::build_tree_arrays(f.parent.raw()),
+                       primitives::parallel_tree_arrays(f.parent.raw()));
+  }
+}
+
+TEST(ParallelTreeArrays, MatchesSequentialOnForests) {
+  Graph g = graph::gen::disjoint_union(graph::gen::random_tree(30, 3),
+                                       graph::gen::binary_tree(15));
+  g = graph::gen::disjoint_union(g, Graph::from_edges(2, {}));  // isolated
+  const auto f = primitives::bfs_forest(g);
+  expect_same_arrays(primitives::build_tree_arrays(f.parent.raw()),
+                     primitives::parallel_tree_arrays(f.parent.raw()));
+}
+
+class ParallelTreeArraysRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelTreeArraysRandom, MatchesSequential) {
+  const Graph g = graph::gen::random_tree(200, GetParam() * 13 + 1);
+  const auto f = primitives::bfs_forest(g);
+  expect_same_arrays(primitives::build_tree_arrays(f.parent.raw()),
+                     primitives::parallel_tree_arrays(f.parent.raw()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelTreeArraysRandom,
+                         ::testing::Range(0, 20));
+
+TEST(ParallelTreeArrays, BfsTreeOfTorus) {
+  const Graph g = graph::gen::grid2d(12, 12, true);
+  const auto f = primitives::bfs_forest(g, 0);
+  expect_same_arrays(primitives::build_tree_arrays(f.parent.raw()),
+                     primitives::parallel_tree_arrays(f.parent.raw()));
+}
+
+}  // namespace

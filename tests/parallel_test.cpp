@@ -1,0 +1,143 @@
+// Unit tests for the thread pool, parallel_for/reduce, scan, filter, rng.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "amem/counters.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/rng.hpp"
+#include "parallel/scan.hpp"
+
+namespace {
+
+using namespace wecc;
+
+TEST(ThreadPool, ReportsAtLeastOneThread) {
+  EXPECT_GE(parallel::num_threads(), 1u);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  constexpr std::size_t n = 100000;
+  std::vector<std::atomic<int>> hits(n);
+  parallel::parallel_for(0, n, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelFor, EmptyAndSingletonRanges) {
+  int count = 0;
+  parallel::parallel_for(5, 5, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count, 0);
+  parallel::parallel_for(7, 8, [&](std::size_t i) {
+    EXPECT_EQ(i, 7u);
+    ++count;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(ParallelFor, NestedCallsDegradeGracefully) {
+  std::atomic<int> total{0};
+  parallel::parallel_for(
+      0, 64,
+      [&](std::size_t) {
+        parallel::parallel_for(
+            0, 64, [&](std::size_t) { total.fetch_add(1); }, 1);
+      },
+      1);
+  EXPECT_EQ(total.load(), 64 * 64);
+}
+
+TEST(ParallelReduce, MatchesSequentialSum) {
+  constexpr std::size_t n = 123457;
+  const auto sum = parallel::parallel_reduce<std::uint64_t>(
+      0, n, 0, [](std::size_t i) { return std::uint64_t(i); },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  EXPECT_EQ(sum, std::uint64_t(n) * (n - 1) / 2);
+}
+
+TEST(ParallelReduce, DeterministicForNonCommutativeFloatSum) {
+  constexpr std::size_t n = 50000;
+  const auto run = [&] {
+    return parallel::parallel_reduce<double>(
+        0, n, 0.0, [](std::size_t i) { return 1.0 / double(i + 1); },
+        [](double a, double b) { return a + b; });
+  };
+  EXPECT_EQ(run(), run());  // fixed block structure -> bitwise equal
+}
+
+TEST(ExclusiveScan, ComputesPrefixSumsInPlace) {
+  std::vector<int> v{3, 1, 4, 1, 5};
+  const int total = parallel::exclusive_scan(v);
+  EXPECT_EQ(total, 14);
+  EXPECT_EQ(v, (std::vector<int>{0, 3, 4, 8, 9}));
+}
+
+TEST(Filter, KeepsExactlyMatchingElementsInOrder) {
+  amem::reset();
+  amem::asym_array<int> out;
+  parallel::filter<int>(
+      0, 1000, [](std::size_t i) { return i % 7 == 0; },
+      [](std::size_t i) { return int(i); }, out);
+  ASSERT_EQ(out.size(), 143u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out.raw()[i], int(7 * i));
+  }
+}
+
+TEST(Filter, WritesProportionalToOutputNotInput) {
+  amem::reset();
+  amem::asym_array<int> out;
+  amem::Phase p;
+  parallel::filter<int>(
+      0, 100000, [](std::size_t i) { return i < 5; },
+      [](std::size_t i) { return int(i); }, out);
+  const auto d = p.delta();
+  EXPECT_EQ(d.writes, 5u);           // the write-efficiency invariant
+  EXPECT_GE(d.reads, 100000u);       // one read per candidate
+}
+
+TEST(Rng, DeterministicStreams) {
+  EXPECT_EQ(parallel::hash2(1, 2), parallel::hash2(1, 2));
+  EXPECT_NE(parallel::hash2(1, 2), parallel::hash2(1, 3));
+  EXPECT_NE(parallel::hash2(1, 2), parallel::hash2(2, 2));
+}
+
+TEST(Rng, Uniform01InRange) {
+  for (int i = 0; i < 1000; ++i) {
+    const double u = parallel::uniform01(7, i);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliMatchesRateRoughly) {
+  int hits = 0;
+  constexpr int n = 20000;
+  for (int i = 0; i < n; ++i) hits += parallel::bernoulli(11, i, 0.25);
+  EXPECT_NEAR(hits / double(n), 0.25, 0.02);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  double sum = 0;
+  constexpr int n = 20000;
+  const double beta = 0.5;
+  for (int i = 0; i < n; ++i) sum += parallel::exponential(13, i, beta);
+  EXPECT_NEAR(sum / n, 1.0 / beta, 0.1);
+}
+
+TEST(Rng, StatefulRngCoversRange) {
+  parallel::Rng rng(99);
+  bool seen_high = false, seen_low = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.next_int(100);
+    ASSERT_LT(v, 100u);
+    seen_high |= v >= 90;
+    seen_low |= v < 10;
+  }
+  EXPECT_TRUE(seen_high);
+  EXPECT_TRUE(seen_low);
+}
+
+}  // namespace

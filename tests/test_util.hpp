@@ -1,0 +1,73 @@
+// Shared ground-truth helpers for the test suite (uncounted brute force).
+#pragma once
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace wecc::testutil {
+
+/// Uncounted BFS connectivity labels (label = min vertex of component).
+inline std::vector<graph::vertex_id> brute_cc(const graph::Graph& g) {
+  const std::size_t n = g.num_vertices();
+  std::vector<graph::vertex_id> label(n, graph::kNoVertex);
+  std::vector<graph::vertex_id> stack;
+  for (graph::vertex_id r = 0; r < n; ++r) {
+    if (label[r] != graph::kNoVertex) continue;
+    label[r] = r;
+    stack.assign(1, r);
+    while (!stack.empty()) {
+      const graph::vertex_id u = stack.back();
+      stack.pop_back();
+      for (graph::vertex_id w : g.neighbors_raw(u)) {
+        if (label[w] == graph::kNoVertex) {
+          label[w] = r;
+          stack.push_back(w);
+        }
+      }
+    }
+  }
+  return label;
+}
+
+/// Do two labelings induce the same partition of [0, n)?
+template <typename A, typename B>
+bool same_partition(const A& a, const B& b, std::size_t n) {
+  std::map<std::pair<std::uint64_t, std::uint64_t>, int> seen;
+  std::map<std::uint64_t, std::uint64_t> fa, fb;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t la = std::uint64_t(a[i]), lb = std::uint64_t(b[i]);
+    const auto ia = fa.emplace(la, fa.size()).first->second;
+    const auto ib = fb.emplace(lb, fb.size()).first->second;
+    if (ia != ib) return false;
+    (void)seen;
+  }
+  return true;
+}
+
+/// Is `edges` a spanning forest of g (acyclic, right count, edges exist)?
+inline bool is_spanning_forest(const graph::Graph& g,
+                               const graph::EdgeList& edges,
+                               std::size_t num_components) {
+  const std::size_t n = g.num_vertices();
+  if (edges.size() != n - num_components) return false;
+  std::vector<graph::vertex_id> dsu(n);
+  for (std::size_t i = 0; i < n; ++i) dsu[i] = graph::vertex_id(i);
+  auto find = [&](graph::vertex_id x) {
+    while (dsu[x] != x) x = dsu[x] = dsu[dsu[x]];
+    return x;
+  };
+  for (const auto& e : edges) {
+    // Edge must exist in g.
+    const auto nb = g.neighbors_raw(e.u);
+    if (!std::binary_search(nb.begin(), nb.end(), e.v)) return false;
+    const auto a = find(e.u), b = find(e.v);
+    if (a == b) return false;  // cycle
+    dsu[std::max(a, b)] = std::min(a, b);
+  }
+  return true;
+}
+
+}  // namespace wecc::testutil

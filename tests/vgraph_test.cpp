@@ -1,0 +1,161 @@
+// Tests for the §6 implicit bounded-degree transformation.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "amem/counters.hpp"
+#include "connectivity/seq_cc.hpp"
+#include "graph/generators.hpp"
+#include "graph/vgraph.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace wecc;
+using graph::Graph;
+using graph::VGraph;
+using graph::vertex_id;
+
+/// Collect neighbors of x in the virtual graph.
+std::vector<vertex_id> nbrs(const VGraph& vg, vertex_id x) {
+  std::vector<vertex_id> out;
+  vg.for_neighbors(x, [&](vertex_id w) { out.push_back(w); });
+  return out;
+}
+
+TEST(VGraph, LowDegreeGraphIsUntouched) {
+  const Graph g = graph::gen::grid2d(5, 5);
+  const VGraph vg(g, 4);
+  EXPECT_EQ(vg.num_vertices(), g.num_vertices());
+  for (vertex_id v = 0; v < g.num_vertices(); ++v) {
+    auto got = nbrs(vg, v);
+    std::sort(got.begin(), got.end());
+    const auto want = g.neighbors_raw(v);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) EXPECT_EQ(got[i], want[i]);
+  }
+}
+
+TEST(VGraph, StarGetsVirtualTree) {
+  const Graph g = graph::gen::star(20);  // hub degree 19
+  const VGraph vg(g, 4);
+  EXPECT_GT(vg.num_vertices(), g.num_vertices());
+  // Hub now has exactly 2 (tree-children) neighbors.
+  EXPECT_EQ(nbrs(vg, 0).size(), 2u);
+  EXPECT_LE(vg.degree_bound(), 5u);
+}
+
+TEST(VGraph, DegreeBoundHoldsEverywhere) {
+  for (const auto& g :
+       {graph::gen::star(100), graph::gen::preferential_attachment(200, 3, 5),
+        graph::gen::complete(30)}) {
+    const VGraph vg(g, 4);
+    for (vertex_id x = 0; x < vg.num_vertices(); ++x) {
+      EXPECT_LE(nbrs(vg, x).size(), vg.degree_bound()) << x;
+    }
+  }
+}
+
+TEST(VGraph, NeighborRelationIsSymmetric) {
+  const Graph g = graph::gen::preferential_attachment(120, 3, 9);
+  const VGraph vg(g, 4);
+  std::multiset<std::pair<vertex_id, vertex_id>> arcs;
+  for (vertex_id x = 0; x < vg.num_vertices(); ++x) {
+    for (vertex_id w : nbrs(vg, x)) arcs.insert({x, w});
+  }
+  for (const auto& [a, b] : arcs) {
+    EXPECT_TRUE(arcs.count({b, a})) << a << "->" << b;
+  }
+}
+
+TEST(VGraph, OwnerMapsVirtualNodesToTheirVertex) {
+  const Graph g = graph::gen::star(50);
+  const VGraph vg(g, 4);
+  for (vertex_id x = vertex_id(g.num_vertices()); x < vg.num_vertices();
+       ++x) {
+    EXPECT_EQ(vg.owner(x), 0u);  // all virtual nodes belong to the hub
+  }
+  EXPECT_EQ(vg.owner(7), 7u);
+}
+
+TEST(VGraph, EdgeImageEndpointsOwnTheRightVertices) {
+  const Graph g = graph::gen::complete(20);
+  const VGraph vg(g, 4);
+  for (vertex_id u = 0; u < 20; ++u) {
+    for (std::size_t p = 0; p < g.degree_raw(u); ++p) {
+      const auto [a, b] = vg.edge_image(u, p);
+      EXPECT_EQ(vg.owner(a), u);
+      EXPECT_EQ(vg.owner(b), g.neighbors_raw(u)[p]);
+    }
+  }
+}
+
+TEST(VGraph, ConnectivityIsPreserved) {
+  Graph g = graph::gen::disjoint_union(graph::gen::star(40),
+                                       graph::gen::complete(12));
+  g = graph::gen::disjoint_union(g, graph::gen::path(5));
+  const VGraph vg(g, 4);
+  const auto cc = connectivity::bfs_cc(vg);
+  const auto truth = testutil::brute_cc(g);
+  // Components of original vertices must match; virtual nodes join their
+  // owner's component.
+  for (vertex_id u = 0; u < g.num_vertices(); ++u) {
+    for (vertex_id v = 0; v < g.num_vertices(); ++v) {
+      EXPECT_EQ(truth[u] == truth[v],
+                cc.label.raw()[u] == cc.label.raw()[v]);
+    }
+  }
+  for (vertex_id x = vertex_id(g.num_vertices()); x < vg.num_vertices();
+       ++x) {
+    EXPECT_EQ(cc.label.raw()[x], cc.label.raw()[vg.owner(x)]);
+  }
+}
+
+TEST(VGraph, ParallelEdgesPairInstancesConsistently) {
+  // Two parallel edges between two high-degree hubs.
+  graph::EdgeList e;
+  for (vertex_id i = 2; i < 12; ++i) {
+    e.push_back({0, i});
+    e.push_back({1, i});
+  }
+  e.push_back({0, 1});
+  e.push_back({0, 1});
+  const Graph g = Graph::from_edges(12, e);
+  const VGraph vg(g, 4);
+  // Every arc image must be symmetric (instance pairing consistent).
+  std::multiset<std::pair<vertex_id, vertex_id>> images;
+  for (std::size_t p = 0; p < g.degree_raw(0); ++p) {
+    if (g.neighbors_raw(0)[p] != 1) continue;
+    const auto [a, b] = vg.edge_image(0, p);
+    images.insert({a, b});
+  }
+  for (std::size_t p = 0; p < g.degree_raw(1); ++p) {
+    if (g.neighbors_raw(1)[p] != 0) continue;
+    const auto [a, b] = vg.edge_image(1, p);
+    EXPECT_TRUE(images.count({b, a})) << "instance pairing broken";
+  }
+}
+
+TEST(VGraph, NeighborQueriesNeverWrite) {
+  const Graph g = graph::gen::preferential_attachment(150, 3, 4);
+  const VGraph vg(g, 4);
+  amem::Phase p;
+  for (vertex_id x = 0; x < vg.num_vertices(); ++x) (void)nbrs(vg, x);
+  EXPECT_EQ(p.delta().writes, 0u);
+  EXPECT_GT(p.delta().reads, 0u);
+}
+
+TEST(VGraph, SelfLoopOnHighDegreeVertex) {
+  graph::EdgeList e;
+  for (vertex_id i = 1; i < 10; ++i) e.push_back({0, i});
+  e.push_back({0, 0});
+  const Graph g = Graph::from_edges(10, e);
+  const VGraph vg(g, 4);
+  // Must not crash; the loop maps within vertex 0's own tree.
+  for (vertex_id x = 0; x < vg.num_vertices(); ++x) (void)nbrs(vg, x);
+  const auto cc = connectivity::bfs_cc(vg);
+  EXPECT_EQ(cc.label.raw()[0], cc.label.raw()[9]);
+}
+
+}  // namespace
