@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 verify plus benchmark smoke: configure, build, run the full test
+# suite, then exercise the query and dynamic benchmarks in smoke mode
+# (small graphs / trimmed repetitions) so a broken bench build or a
+# correctness regression in the hot paths fails CI, not just the unit tests.
+#
+# Usage: scripts/check.sh [build-dir]   (default: build)
+# Env:   CXX/CC respected by cmake as usual; WECC_THREADS caps the pool.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+echo "== bench smoke: queries =="
+"$BUILD_DIR/bench/bench_queries" \
+  --benchmark_min_time=0.05 --benchmark_filter='BM_Query_(CcLabelArray|CcOracle/16)$'
+
+echo "== bench smoke: dynamic (100k rows; 1M rows run in full mode) =="
+"$BUILD_DIR/bench/bench_dynamic" \
+  --benchmark_filter='/100000(/|$)'
+
+echo "check.sh: all green"

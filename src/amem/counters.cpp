@@ -1,5 +1,7 @@
 #include "amem/counters.hpp"
 
+#include <map>
+#include <mutex>
 #include <sstream>
 
 namespace wecc::amem {
@@ -41,6 +43,43 @@ std::string to_string(const Stats& s, std::uint64_t omega) {
   os << "reads=" << s.reads << " writes=" << s.writes << " work(w=" << omega
      << ")=" << s.work(omega);
   return os.str();
+}
+
+namespace {
+std::mutex g_phase_mu;
+std::map<std::string, Stats, std::less<>>& phase_map() {
+  static std::map<std::string, Stats, std::less<>> m;
+  return m;
+}
+}  // namespace
+
+void accumulate_phase(std::string_view name, const Stats& delta) {
+  const std::lock_guard<std::mutex> lock(g_phase_mu);
+  auto& m = phase_map();
+  const auto it = m.find(name);
+  if (it == m.end()) {
+    m.emplace(std::string(name), delta);
+  } else {
+    it->second = it->second + delta;
+  }
+}
+
+std::vector<std::pair<std::string, Stats>> phase_totals() {
+  const std::lock_guard<std::mutex> lock(g_phase_mu);
+  const auto& m = phase_map();
+  return {m.begin(), m.end()};
+}
+
+Stats phase_total(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(g_phase_mu);
+  const auto& m = phase_map();
+  const auto it = m.find(name);
+  return it == m.end() ? Stats{} : it->second;
+}
+
+void reset_phases() {
+  const std::lock_guard<std::mutex> lock(g_phase_mu);
+  phase_map().clear();
 }
 
 }  // namespace wecc::amem

@@ -18,6 +18,9 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 namespace wecc::amem {
 
@@ -83,5 +86,38 @@ class Phase {
 
 /// Pretty one-line rendering ("reads=... writes=... work(w=8)=...").
 std::string to_string(const Stats& s, std::uint64_t omega);
+
+// ---------------------------------------------------------------------------
+// Named phase accounting (multi-stage pipelines, e.g. the dynamic layer's
+// update phases: insert fast path / selective rebuild / compaction).
+// ---------------------------------------------------------------------------
+
+/// Fold a measured delta into the named bucket. Thread-safe; intended for
+/// one call per completed phase, not per memory access.
+void accumulate_phase(std::string_view name, const Stats& delta);
+
+/// Totals per bucket, sorted by name.
+std::vector<std::pair<std::string, Stats>> phase_totals();
+
+/// Total for one bucket (zero Stats if never accumulated).
+Stats phase_total(std::string_view name);
+
+/// Zero all buckets. Only call when no instrumented code is running.
+void reset_phases();
+
+/// RAII: accumulate this scope's read/write delta into a named bucket on
+/// destruction. The delta is process-wide (same caveat as Phase): scope
+/// concurrent instrumented work accordingly.
+class ScopedPhase {
+ public:
+  explicit ScopedPhase(std::string_view name) : name_(name) {}
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+  ~ScopedPhase() { accumulate_phase(name_, phase_.delta()); }
+
+ private:
+  std::string name_;
+  Phase phase_;
+};
 
 }  // namespace wecc::amem

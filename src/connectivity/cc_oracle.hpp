@@ -45,6 +45,21 @@ class ConnectivityOracle {
     return o;
   }
 
+  /// Decomposition-reuse hook for the batch-dynamic layer: assemble an
+  /// oracle from externally built parts. `cc` must label `decomp`'s center
+  /// indices with representative center indices (the invariant build()
+  /// establishes); the dynamic selective rebuild produces such a labeling by
+  /// patching a previous oracle's labels instead of re-running connectivity
+  /// on the whole clusters graph.
+  static ConnectivityOracle from_parts(decomp::ImplicitDecomposition<G>&& d,
+                                       CcResult&& cc) {
+    return ConnectivityOracle(std::move(d), std::move(cc));
+  }
+
+  /// The center labeling (indexed by center index, valued in center
+  /// indices) — read-only reuse hook.
+  [[nodiscard]] const CcResult& cc() const noexcept { return cc_; }
+
   /// Component id of v: a canonical vertex id, O(k) expected reads, no
   /// writes. Virtual-center components label themselves by their minimum
   /// vertex (disjoint from every real component's label).
@@ -112,6 +127,9 @@ class ConnectivityOracle {
       : decomp_(decomp::ImplicitDecomposition<G>::build(
             g, decomp::DecompOptions{opt.k, opt.seed,
                                      opt.parallel_children})) {}
+
+  ConnectivityOracle(decomp::ImplicitDecomposition<G>&& d, CcResult&& cc)
+      : decomp_(std::move(d)), cc_(std::move(cc)) {}
 
   decomp::ImplicitDecomposition<G> decomp_;
   CcResult cc_;  // labels indexed by center index, valued in center indices

@@ -62,12 +62,56 @@ struct ClusterInfo {
   std::vector<graph::vertex_id> parent;  // parallel to members
 };
 
+/// One exported center with its primary bit — the unit of decomposition
+/// reuse: a batch-dynamic selective rebuild re-installs these over the
+/// mutated graph instead of re-running Algorithm 1.
+struct CenterSeed {
+  graph::vertex_id v = graph::kNoVertex;
+  bool primary = false;
+};
+
 template <graph::GraphView G>
 class ImplicitDecomposition {
  public:
   /// Algorithm 1 (+ unconnected-graph extension). The graph must outlive
   /// the decomposition.
   static ImplicitDecomposition build(const G& g, const DecompOptions& opt);
+
+  /// Partial-rebuild entry point: install a previously exported center set
+  /// over (a mutated version of) the graph instead of re-running Algorithm
+  /// 1's sampling / promotion / splitting passes. O(|seeds|) counted writes,
+  /// no traversal. Every derived quantity (rho, clusters, boundary edges) is
+  /// recomputed on demand from the *new* graph, so correctness never depends
+  /// on the seeds matching the mutated topology — only the performance
+  /// bounds do (rho stays O(k) only while clusters stay O(k)-sized).
+  ///
+  /// Every seed is installed as a *primary* center, whatever its exported
+  /// flag: a deletion can strand a secondary center in a component with no
+  /// primary, where rho (which searches for primaries) would go virtual and
+  /// break the clusters-graph invariant that a center-bearing component
+  /// never resolves virtually. All-primary restores it on any topology;
+  /// cluster shapes shift slightly, component structure does not.
+  static ImplicitDecomposition build_reusing(
+      const G& g, const DecompOptions& opt,
+      const std::vector<CenterSeed>& seeds) {
+    if (opt.k < 2) throw std::invalid_argument("k must be >= 2");
+    ImplicitDecomposition d(g, opt.k);
+    for (const CenterSeed& s : seeds) d.set_.insert(s.v, /*primary=*/true);
+    d.center_list_ = d.set_.to_sorted_vector();
+    amem::count_write(d.center_list_.size());
+    return d;
+  }
+
+  /// Export the stored state (the whole Definition 2 object) for
+  /// build_reusing. Ascending by vertex id; uncounted result extraction.
+  [[nodiscard]] std::vector<CenterSeed> export_centers() const {
+    std::vector<CenterSeed> seeds;
+    seeds.reserve(center_list_.size());
+    for (const graph::vertex_id v : center_list_) {
+      seeds.push_back({v, set_.is_primary(v)});
+    }
+    return seeds;
+  }
 
   [[nodiscard]] const G& graph() const noexcept { return *g_; }
   [[nodiscard]] std::size_t k() const noexcept { return k_; }

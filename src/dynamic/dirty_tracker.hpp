@@ -1,0 +1,67 @@
+// DirtyTracker: which parts of the previous oracle version a batch touches.
+//
+// Granularity is two-level, matching what the selective rebuild needs:
+//  * dirty clusters — center indices whose cluster contains a batch
+//    endpoint (reported for diagnostics / UpdateReport);
+//  * dirty labels — old component labels (center-index valued, as stored in
+//    CcResult) whose component structure may have changed. The selective
+//    rebuild relabels exactly the centers carrying a dirty label and keeps
+//    every other center's label untouched.
+//
+// Soundness of the label set (why untouched labels stay valid): components
+// can only change where edges changed. Every edge inserted since the last
+// full labeling is either in the pending LabelPatch (both endpoint labels
+// are patch-touched) or in the current batch (both endpoint labels are
+// marked here); deleted edges only remove connections inside their
+// endpoints' components. Cluster-membership shifts (rho re-routing near a
+// changed edge) stay inside a component, so boundary edges never connect a
+// dirty-label center to a clean-label one.
+#pragma once
+
+#include <cstddef>
+#include <unordered_set>
+
+#include "graph/graph.hpp"
+
+namespace wecc::dynamic {
+
+class DirtyTracker {
+ public:
+  /// Mark an old component label (center-index valued) dirty.
+  void mark_label(graph::vertex_id label) { labels_.insert(label); }
+
+  /// Record a batch endpoint's cluster (center index) for diagnostics.
+  void mark_cluster(graph::vertex_id center_index) {
+    clusters_.insert(center_index);
+  }
+
+  /// A batch endpoint living in a virtual (centerless) component: nothing to
+  /// relabel — virtual components self-heal because rho() recomputes the
+  /// component minimum on the current graph.
+  void note_virtual() { ++virtual_touches_; }
+
+  [[nodiscard]] bool label_dirty(graph::vertex_id label) const {
+    return labels_.count(label) != 0;
+  }
+
+  [[nodiscard]] const std::unordered_set<graph::vertex_id>& labels()
+      const noexcept {
+    return labels_;
+  }
+  [[nodiscard]] std::size_t num_labels() const noexcept {
+    return labels_.size();
+  }
+  [[nodiscard]] std::size_t num_clusters() const noexcept {
+    return clusters_.size();
+  }
+  [[nodiscard]] std::size_t virtual_touches() const noexcept {
+    return virtual_touches_;
+  }
+
+ private:
+  std::unordered_set<graph::vertex_id> labels_;
+  std::unordered_set<graph::vertex_id> clusters_;
+  std::size_t virtual_touches_ = 0;
+};
+
+}  // namespace wecc::dynamic

@@ -1,0 +1,366 @@
+// DynamicConnectivity: batch-dynamic connectivity over the static
+// write-efficient oracle, with epoch-versioned snapshots.
+//
+// Update paths, cheapest first (phase counters under "dynamic/..."):
+//
+//  * Insert fast path — a batch of B insertions merges component labels in
+//    a LabelPatch: O(B k) expected operations (two oracle queries per
+//    edge), O(B) counted writes. Nothing is rebuilt; the new snapshot
+//    shares the previous oracle version.
+//  * Selective rebuild — any batch with deletions. The previous center set
+//    is re-installed over the mutated graph (ImplicitDecomposition::
+//    build_reusing — Algorithm 1's sampling/promotion/splitting passes are
+//    all skipped), old labels are copied, and only the centers whose
+//    component a changed edge or pending patch entry touches are relabeled
+//    by BFS on the new clusters graph: O(n/k + |dirty| k^2) expected
+//    operations, O(n/k) counted writes — sublinear in n for k >= 2.
+//    Correctness never depends on the reused centers fitting the new
+//    topology (rho/cluster/boundary queries recompute from the new graph);
+//    only the O(k) query bound degrades if many deletions distort cluster
+//    sizes, which the compaction path repairs.
+//  * Compaction — when the overlay delta outgrows `compact_threshold`, the
+//    overlay is flattened into a fresh CSR base and the oracle is rebuilt
+//    from scratch, restoring the static bounds. Amortized over the
+//    threshold's worth of updates this keeps per-update cost sublinear.
+//
+// Concurrency: apply()/compact() are serialized internally; readers never
+// block — they pin an immutable Snapshot from the store (or hand it to a
+// BatchQueryEngine) and keep querying that epoch while the next version
+// builds (apply_async runs the writer off-thread).
+//
+// Phase-counter caveat: the "dynamic/..." buckets are measured with the
+// process-wide amem counters, so counted traffic from *concurrent* readers
+// lands in the running update's bucket too. Treat the buckets as exact only
+// when updates run without concurrent instrumented readers (as the
+// benchmarks do); under live mixed load they are an overestimate.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "dynamic/dirty_tracker.hpp"
+#include "dynamic/snapshot_store.hpp"
+#include "dynamic/update_batch.hpp"
+
+namespace wecc::dynamic {
+
+struct DynamicOptions {
+  connectivity::CcOracleOptions oracle;
+  /// Snapshots retained by the store (older pinned ones stay valid).
+  std::size_t snapshot_capacity = 4;
+  /// Overlay delta (arcs added + deleted) that triggers compaction;
+  /// 0 = auto: max(32768, n / k) — large enough that a full rebuild is
+  /// amortized over many thousands of updates even on small graphs.
+  std::size_t compact_threshold = 0;
+};
+
+/// What one apply() did — which path ran and how much it touched.
+struct UpdateReport {
+  enum class Path : std::uint8_t {
+    kFastInsert,
+    kSelectiveRebuild,
+    kCompaction,
+  };
+  std::uint64_t epoch = 0;
+  Path path = Path::kFastInsert;
+  std::size_t dirty_clusters = 0;    // selective rebuild only
+  std::size_t dirty_labels = 0;      // selective rebuild only
+  std::size_t relabeled_centers = 0; // selective rebuild only
+};
+
+class DynamicConnectivity {
+ public:
+  /// Builds the epoch-0 oracle over `base` (vertex set fixed thereafter).
+  explicit DynamicConnectivity(graph::Graph base, DynamicOptions opt = {})
+      : opt_(opt),
+        base_(std::make_shared<const graph::Graph>(std::move(base))),
+        n_(base_->num_vertices()),
+        working_(base_),
+        store_(opt.snapshot_capacity) {
+    if (opt_.compact_threshold == 0) {
+      opt_.compact_threshold = std::max<std::size_t>(
+          32768,
+          base_->num_vertices() / std::max<std::size_t>(1, opt_.oracle.k));
+    }
+    install_full_build(std::make_shared<const OverlayGraph>(working_));
+    publish(UpdateReport{epoch_, UpdateReport::Path::kCompaction});
+  }
+
+  /// Fixed at construction (only edges are dynamic), so this is safe to
+  /// call from reader threads without the writer lock.
+  [[nodiscard]] std::size_t num_vertices() const noexcept { return n_; }
+  /// Latest published epoch; wait-free (reader-safe during rebuilds).
+  [[nodiscard]] std::uint64_t epoch() const noexcept {
+    return epoch_.load(std::memory_order_acquire);
+  }
+  /// Writer-side diagnostic: takes the writer lock, so it can stall behind
+  /// an in-flight rebuild. Readers wanting a non-blocking signal should use
+  /// epoch() / snapshot() instead.
+  [[nodiscard]] std::size_t overlay_delta_size() const {
+    const std::lock_guard<std::mutex> lock(write_mu_);
+    return working_.delta_size();
+  }
+  [[nodiscard]] std::size_t compact_threshold() const noexcept {
+    return opt_.compact_threshold;
+  }
+
+  /// The latest immutable snapshot (pin it; it never changes under you).
+  [[nodiscard]] std::shared_ptr<const Snapshot> snapshot() const {
+    return store_.current();
+  }
+
+  /// The current logical edge set (base + all applied batches), canonical
+  /// orientation — what a from-scratch rebuild of the latest epoch would
+  /// consume. Note this is the *working* graph: after insert fast-path
+  /// epochs it is ahead of the latest snapshot's frozen oracle graph (the
+  /// snapshot closes that gap with its label patch).
+  [[nodiscard]] graph::EdgeList current_edge_list() const {
+    const std::lock_guard<std::mutex> lock(write_mu_);
+    return working_.edge_list();
+  }
+  [[nodiscard]] const SnapshotStore& store() const noexcept { return store_; }
+
+  /// Convenience single queries against the current snapshot.
+  [[nodiscard]] bool connected(graph::vertex_id u, graph::vertex_id v) const {
+    return snapshot()->connected(u, v);
+  }
+  [[nodiscard]] graph::vertex_id component_of(graph::vertex_id v) const {
+    return snapshot()->component_of(v);
+  }
+
+  /// Apply one batch atomically and publish the next epoch. Throws
+  /// std::out_of_range for endpoints outside [0, n) and
+  /// std::invalid_argument for deleting edges that are not present; both
+  /// are raised before any mutation, leaving the structure unchanged. A
+  /// later exception (e.g. bad_alloc mid-rebuild) is not rolled back: the
+  /// working graph then holds the batch while the published epoch does
+  /// not — call compact() to resynchronize before further updates.
+  UpdateReport apply(const UpdateBatch& batch) {
+    const std::lock_guard<std::mutex> lock(write_mu_);
+    batch.validate(num_vertices());
+    check_deletions_exist(batch.deletions);
+    const amem::Phase measure;
+    for (const graph::Edge& e : batch.deletions) {
+      working_.delete_edge(e.u, e.v);
+    }
+    for (const graph::Edge& e : batch.insertions) {
+      working_.insert_edge(e.u, e.v);
+    }
+    UpdateReport report;
+    const char* phase_name;
+    if (working_.delta_size() >= opt_.compact_threshold) {
+      compact_locked();
+      report.path = UpdateReport::Path::kCompaction;
+      phase_name = "dynamic/compaction";
+    } else if (!batch.deletions.empty()) {
+      rebuild_selective(batch, report);
+      report.path = UpdateReport::Path::kSelectiveRebuild;
+      phase_name = "dynamic/selective_rebuild";
+    } else {
+      patch_insertions(batch.insertions);
+      report.path = UpdateReport::Path::kFastInsert;
+      phase_name = "dynamic/insert_fastpath";
+    }
+    report.epoch = epoch() + 1;
+    publish(report);
+    amem::accumulate_phase(phase_name, measure.delta());
+    return report;
+  }
+
+  UpdateReport insert_edges(graph::EdgeList edges) {
+    return apply(UpdateBatch::inserting(std::move(edges)));
+  }
+  UpdateReport delete_edges(graph::EdgeList edges) {
+    return apply(UpdateBatch::deleting(std::move(edges)));
+  }
+
+  /// Run apply() on a separate thread; readers keep querying pinned
+  /// snapshots while the next version builds.
+  [[nodiscard]] std::future<UpdateReport> apply_async(UpdateBatch batch) {
+    return std::async(std::launch::async,
+                      [this, b = std::move(batch)] { return apply(b); });
+  }
+
+  /// Force a compaction (flatten overlay, full oracle rebuild) now.
+  UpdateReport compact() {
+    const std::lock_guard<std::mutex> lock(write_mu_);
+    const amem::Phase measure;
+    compact_locked();
+    UpdateReport report{epoch() + 1, UpdateReport::Path::kCompaction};
+    publish(report);
+    amem::accumulate_phase("dynamic/compaction", measure.delta());
+    return report;
+  }
+
+ private:
+  /// Strong exception safety for deletions: verify the whole batch against
+  /// the working overlay (with per-edge multiplicities) before mutating.
+  void check_deletions_exist(const graph::EdgeList& deletions) const {
+    std::unordered_map<std::uint64_t, std::size_t> want;
+    for (const graph::Edge& e : deletions) ++want[edge_key(e.u, e.v)];
+    for (const auto& [key, cnt] : want) {
+      const auto lo = graph::vertex_id(key >> 32);
+      const auto hi = graph::vertex_id(key);
+      if (working_.multiplicity(lo, hi) < cnt) {
+        throw std::invalid_argument(
+            "deleting edge (" + std::to_string(lo) + ", " +
+            std::to_string(hi) + ") more times than it is present");
+      }
+    }
+  }
+
+  /// Insert fast path: merge endpoint component labels in the patch. The
+  /// oracle keeps reading its frozen (pre-insertion) graph; the patch
+  /// carries exactly the connectivity the new edges add.
+  void patch_insertions(const graph::EdgeList& insertions) {
+    const auto& oracle = state_->oracle;
+    const auto is_center = [&](graph::vertex_id l) {
+      return oracle.decomposition().is_center(l);
+    };
+    for (const graph::Edge& e : insertions) {
+      if (e.u == e.v) continue;
+      patch_.unite(patch_.find(oracle.component_of(e.u)),
+                   patch_.find(oracle.component_of(e.v)), is_center);
+    }
+  }
+
+  /// Selective rebuild: reuse the center set, relabel only dirty
+  /// components. See the header comment for the soundness argument
+  /// (mirrored in DirtyTracker).
+  void rebuild_selective(const UpdateBatch& batch, UpdateReport& report) {
+    const auto& old = state_->oracle;
+    const auto& old_decomp = old.decomposition();
+
+    // 1. Dirty analysis against the *old* graph/labels.
+    DirtyTracker dirty;
+    patch_.for_touched([&](graph::vertex_id l) {
+      if (old_decomp.is_center(l)) {
+        dirty.mark_label(
+            old.cc().label.read(old_decomp.center_index(l)));
+      } else {
+        dirty.note_virtual();
+      }
+    });
+    const auto note_endpoint = [&](graph::vertex_id x) {
+      const decomp::RhoResult r = old_decomp.rho(x);
+      if (r.virtual_center) {
+        dirty.note_virtual();
+        return;
+      }
+      const std::size_t ci = old_decomp.center_index(r.center);
+      dirty.mark_cluster(graph::vertex_id(ci));
+      dirty.mark_label(old.cc().label.read(ci));
+    };
+    for (const graph::Edge& e : batch.deletions) {
+      note_endpoint(e.u);
+      note_endpoint(e.v);
+    }
+    for (const graph::Edge& e : batch.insertions) {
+      note_endpoint(e.u);
+      note_endpoint(e.v);
+    }
+
+    // 2. Freeze the mutated overlay and re-install the center set over it.
+    auto frozen = std::make_shared<const OverlayGraph>(working_);
+    auto decomp2 = decomp::ImplicitDecomposition<OverlayGraph>::build_reusing(
+        *frozen,
+        decomp::DecompOptions{opt_.oracle.k, opt_.oracle.seed,
+                              opt_.oracle.parallel_children},
+        old_decomp.export_centers());
+
+    // 3. Copy old labels; relabel dirty components from the new clusters
+    // graph. BFS is seeded at dirty centers but deliberately unrestricted:
+    // under the dirty-set invariant it never leaves dirty labels, and if
+    // the invariant were ever violated, following the actual boundary
+    // edges still yields a correct labeling of everything reachable.
+    const std::size_t nc = decomp2.center_list().size();
+    connectivity::CcResult cc2;
+    cc2.label.resize(nc);
+    for (std::size_t ci = 0; ci < nc; ++ci) {
+      cc2.label.write(ci, old.cc().label.read(ci));
+    }
+    const decomp::ClustersGraph<OverlayGraph> cg(decomp2);
+    std::unordered_set<graph::vertex_id> visited;
+    std::vector<graph::vertex_id> frontier, next;
+    std::size_t relabeled = 0;
+    for (std::size_t ci = 0; ci < nc; ++ci) {
+      const auto root = graph::vertex_id(ci);
+      if (!dirty.label_dirty(old.cc().label.read(ci))) continue;
+      if (!visited.insert(root).second) continue;
+      cc2.label.write(ci, root);
+      ++relabeled;
+      frontier.assign(1, root);
+      while (!frontier.empty()) {
+        next.clear();
+        for (const graph::vertex_id c : frontier) {
+          cg.for_boundary_edges(
+              c, [&](graph::vertex_id cj, graph::vertex_id,
+                     graph::vertex_id) {
+                if (!visited.insert(cj).second) return;
+                cc2.label.write(cj, root);
+                ++relabeled;
+                next.push_back(cj);
+              });
+        }
+        frontier.swap(next);
+      }
+    }
+    // Exact component count among real clusters (scratch pass).
+    std::unordered_set<graph::vertex_id> distinct(cc2.label.raw().begin(),
+                                                  cc2.label.raw().end());
+    cc2.num_components = distinct.size();
+
+    state_ = std::make_shared<VersionedOracle>(
+        frozen,
+        connectivity::ConnectivityOracle<OverlayGraph>::from_parts(
+            std::move(decomp2), std::move(cc2)));
+    patch_.clear();
+    report.dirty_clusters = dirty.num_clusters();
+    report.dirty_labels = dirty.num_labels();
+    report.relabeled_centers = relabeled;
+  }
+
+  /// Flatten the overlay into a fresh CSR base and rebuild from scratch.
+  void compact_locked() {
+    const std::size_t n = num_vertices();
+    base_ = std::make_shared<const graph::Graph>(
+        graph::Graph::from_edges(n, working_.edge_list()));
+    working_ = OverlayGraph(base_);
+    install_full_build(std::make_shared<const OverlayGraph>(working_));
+  }
+
+  void install_full_build(std::shared_ptr<const OverlayGraph> frozen) {
+    auto oracle = connectivity::ConnectivityOracle<OverlayGraph>::build(
+        *frozen, opt_.oracle);
+    state_ =
+        std::make_shared<VersionedOracle>(std::move(frozen), std::move(oracle));
+    patch_.clear();
+  }
+
+  /// Copies the pending patch into the immutable snapshot: O(B + |patch|)
+  /// per publish, with |patch| bounded by compact_threshold / 2 (one entry
+  /// per merged insertion since the last rebuild) — the same knob that
+  /// already bounds the frozen-overlay copies.
+  void publish(const UpdateReport& report) {
+    store_.publish(std::make_shared<Snapshot>(report.epoch, state_, patch_));
+    epoch_.store(report.epoch, std::memory_order_release);
+  }
+
+  DynamicOptions opt_;
+  mutable std::mutex write_mu_;
+  std::atomic<std::uint64_t> epoch_{0};
+  std::shared_ptr<const graph::Graph> base_;
+  std::size_t n_ = 0;  // fixed vertex count (reader-safe)
+  OverlayGraph working_;  // the current logical graph (base_ + deltas)
+  LabelPatch patch_;      // pending merges relative to state_'s labels
+  std::shared_ptr<const VersionedOracle> state_;
+  SnapshotStore store_;
+};
+
+}  // namespace wecc::dynamic

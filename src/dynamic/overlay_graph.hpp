@@ -1,0 +1,212 @@
+// OverlayGraph: an immutable CSR base graph plus insertion/deletion deltas,
+// satisfying GraphView so every static algorithm (implicit decomposition,
+// clusters graph, connectivity) runs on the mutated topology unchanged.
+//
+// The vertex set is fixed at the base graph's n; only edges are dynamic.
+// Deltas are stored as adjacency patches in asymmetric memory — inserting or
+// deleting an edge charges O(1) counted writes, never O(n) — which is what
+// lets a batch of B updates cost O(B) writes (the batch-dynamic analogue of
+// the paper's write-efficiency discipline). Enumerating v's neighbors charges
+// the base cost plus O(|patch(v)|) reads.
+//
+// DynamicConnectivity keeps one mutable working OverlayGraph; snapshots
+// freeze value copies (cost O(delta), bounded by the compaction threshold),
+// so published oracles never observe later mutations.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace wecc::dynamic {
+
+/// Canonical packing of an undirected edge into one 64-bit key (min vertex
+/// in the high half) — the keying shared by the overlay's patch maps and
+/// the facade's batch validation.
+inline std::uint64_t edge_key(graph::vertex_id u, graph::vertex_id v) {
+  const auto lo = std::min(u, v), hi = std::max(u, v);
+  return (std::uint64_t(lo) << 32) | hi;
+}
+
+class OverlayGraph {
+ public:
+  explicit OverlayGraph(std::shared_ptr<const graph::Graph> base)
+      : base_(std::move(base)) {}
+
+  [[nodiscard]] std::size_t num_vertices() const noexcept {
+    return base_->num_vertices();
+  }
+
+  [[nodiscard]] const graph::Graph& base() const noexcept { return *base_; }
+  [[nodiscard]] const std::shared_ptr<const graph::Graph>& base_ptr()
+      const noexcept {
+    return base_;
+  }
+
+  /// Arcs added plus arcs deleted relative to the base — the quantity the
+  /// compaction policy bounds.
+  [[nodiscard]] std::size_t delta_size() const noexcept {
+    return extra_arcs_ + deleted_arcs_;
+  }
+
+  /// Multiplicity of the undirected edge (u, v) in the overlaid graph.
+  /// O(log deg(u) + |patch(u)|) counted reads.
+  [[nodiscard]] std::size_t multiplicity(graph::vertex_id u,
+                                         graph::vertex_id v) const {
+    // Raw span + explicit charging: one offset-row read plus ~log2(deg)
+    // element reads per binary search of equal_range.
+    const auto nb = base_->neighbors_raw(u);
+    amem::count_read(1 + 2 * std::bit_width(nb.size()));
+    const auto [lo, hi] = std::equal_range(nb.begin(), nb.end(), v);
+    std::size_t mult = std::size_t(hi - lo);
+    mult += patch_count(extra_, u, v);
+    mult -= patch_count(del_, u, v);
+    return mult;
+  }
+
+  /// Insert one copy of edge (u, v); O(1) counted writes. Parallel edges
+  /// and self-loops are allowed, matching the base representation.
+  void insert_edge(graph::vertex_id u, graph::vertex_id v) {
+    // Reinserting a deleted base edge un-deletes it, keeping patches small.
+    if (erase_one(del_, u, v)) {
+      deleted_arcs_ -= (u == v) ? 1 : 2;
+      amem::count_write(u == v ? 1 : 2);
+      return;
+    }
+    extra_[u].push_back(v);
+    amem::count_write();
+    ++extra_arcs_;
+    if (u != v) {
+      extra_[v].push_back(u);
+      amem::count_write();
+      ++extra_arcs_;
+    }
+  }
+
+  /// Delete one copy of edge (u, v). Returns false (and changes nothing) if
+  /// the edge is not present. O(1) expected counted writes.
+  bool delete_edge(graph::vertex_id u, graph::vertex_id v) {
+    if (erase_one(extra_, u, v)) {
+      extra_arcs_ -= (u == v) ? 1 : 2;
+      amem::count_write(u == v ? 1 : 2);
+      return true;
+    }
+    if (multiplicity(u, v) == 0) return false;
+    del_[u].push_back(v);
+    amem::count_write();
+    ++deleted_arcs_;
+    if (u != v) {
+      del_[v].push_back(u);
+      amem::count_write();
+      ++deleted_arcs_;
+    }
+    return true;
+  }
+
+  /// GraphView enumeration: base neighbors with deleted copies skipped, then
+  /// inserted neighbors. Charges base cost + O(|patch(v)|) reads. Callers
+  /// that need sorted order sort themselves (as every BFS in wecc does).
+  template <typename F>
+  void for_neighbors(graph::vertex_id v, F&& fn) const {
+    const auto dit = del_.find(v);
+    if (dit == del_.end()) {
+      base_->for_neighbors(v, fn);
+    } else {
+      amem::count_read(1 + dit->second.size());
+      std::unordered_map<graph::vertex_id, std::size_t> skip;
+      for (const graph::vertex_id w : dit->second) ++skip[w];
+      base_->for_neighbors(v, [&](graph::vertex_id w) {
+        const auto sit = skip.find(w);
+        if (sit != skip.end() && sit->second > 0) {
+          --sit->second;
+          return;
+        }
+        fn(w);
+      });
+    }
+    const auto eit = extra_.find(v);
+    amem::count_read();
+    if (eit != extra_.end()) {
+      amem::count_read(eit->second.size());
+      for (const graph::vertex_id w : eit->second) fn(w);
+    }
+  }
+
+  /// Materialize the overlaid edge list (canonical (min,max) orientation,
+  /// multiplicities expanded) — the compaction input. Uncounted extraction,
+  /// like Graph::edge_list().
+  [[nodiscard]] graph::EdgeList edge_list() const {
+    std::unordered_map<std::uint64_t, std::size_t> removed;
+    for (const auto& [u, ws] : del_) {
+      for (const graph::vertex_id w : ws) {
+        if (w >= u) ++removed[edge_key(u, w)];
+      }
+    }
+    graph::EdgeList out;
+    for (const graph::Edge& e : base_->edge_list()) {
+      const auto it = removed.find(edge_key(e.u, e.v));
+      if (it != removed.end() && it->second > 0) {
+        --it->second;
+        continue;
+      }
+      out.push_back(e);
+    }
+    for (const auto& [u, ws] : extra_) {
+      for (const graph::vertex_id w : ws) {
+        if (w >= u) out.push_back({u, w});
+      }
+    }
+    return out;
+  }
+
+ private:
+  using Patch = std::unordered_map<graph::vertex_id,
+                                   std::vector<graph::vertex_id>>;
+
+  static std::size_t patch_count(const Patch& p, graph::vertex_id u,
+                                 graph::vertex_id v) {
+    const auto it = p.find(u);
+    amem::count_read();
+    if (it == p.end()) return 0;
+    amem::count_read(it->second.size());
+    return std::size_t(
+        std::count(it->second.begin(), it->second.end(), v));
+  }
+
+  /// Remove one (u,v) arc pair from a patch (one arc for self-loops).
+  static bool erase_one(Patch& p, graph::vertex_id u, graph::vertex_id v) {
+    const auto it = p.find(u);
+    amem::count_read();
+    if (it == p.end()) return false;
+    const auto pos = std::find(it->second.begin(), it->second.end(), v);
+    amem::count_read(it->second.size());
+    if (pos == it->second.end()) return false;
+    it->second.erase(pos);
+    if (it->second.empty()) p.erase(it);
+    if (u != v) {
+      // Arcs are always inserted in pairs, so the reverse arc must exist.
+      const auto jt = p.find(v);
+      assert(jt != p.end());
+      const auto qos = std::find(jt->second.begin(), jt->second.end(), u);
+      assert(qos != jt->second.end());
+      jt->second.erase(qos);
+      if (jt->second.empty()) p.erase(jt);
+    }
+    return true;
+  }
+
+  std::shared_ptr<const graph::Graph> base_;
+  Patch extra_;  // inserted arcs, both directions (self-loops once)
+  Patch del_;    // deleted arcs, both directions (self-loops once)
+  std::size_t extra_arcs_ = 0;
+  std::size_t deleted_arcs_ = 0;
+};
+
+static_assert(graph::GraphView<OverlayGraph>);
+
+}  // namespace wecc::dynamic

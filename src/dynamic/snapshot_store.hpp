@@ -1,0 +1,187 @@
+// Epoch-versioned snapshots of the dynamic connectivity structure.
+//
+//  * LabelPatch — a small persistent union-find over canonical component
+//    labels. The insertion fast path merges component labels here in O(B)
+//    writes instead of rebuilding anything; a snapshot's answer is the
+//    underlying oracle's label filtered through the patch.
+//  * VersionedOracle — one built oracle bundled with the frozen overlay
+//    graph it reads (the graph must outlive the decomposition, so they
+//    travel together).
+//  * Snapshot — an immutable query view: (epoch, oracle version, patch).
+//    Safe for concurrent readers; pin one with a shared_ptr and it stays
+//    valid while newer epochs are published and older ones are evicted.
+//  * SnapshotStore — a bounded ring of the most recent snapshots.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "connectivity/cc_oracle.hpp"
+#include "dynamic/overlay_graph.hpp"
+
+namespace wecc::dynamic {
+
+/// Persistent union-find over component labels (canonical vertex ids, the
+/// output space of ConnectivityOracle::component_of). No path compression:
+/// instances are copied into immutable snapshots, and chains are at most
+/// |patch| long (one hop per merged batch edge), so find stays O(|patch|)
+/// worst case and O(1) when the patch is empty.
+class LabelPatch {
+ public:
+  [[nodiscard]] graph::vertex_id find(graph::vertex_id label) const {
+    auto it = parent_.find(label);
+    while (it != parent_.end()) {
+      amem::count_read();
+      label = it->second;
+      it = parent_.find(label);
+    }
+    amem::count_read();
+    return label;
+  }
+
+  /// Merge the classes of labels a and b. The surviving representative
+  /// prefers a real-center label over a virtual (component-minimum) one —
+  /// `is_center(label)` decides — so that after merges involving real
+  /// clusters the class is still named by a center, which is what a
+  /// selective rebuild folds back into center-index labels. Ties break to
+  /// the minimum id. One counted write.
+  template <typename IsCenter>
+  void unite(graph::vertex_id a, graph::vertex_id b, IsCenter&& is_center) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    const bool ca = is_center(a), cb = is_center(b);
+    graph::vertex_id winner;
+    if (ca != cb) {
+      winner = ca ? a : b;
+    } else {
+      winner = std::min(a, b);
+    }
+    const graph::vertex_id loser = (winner == a) ? b : a;
+    parent_.emplace(loser, winner);
+    amem::count_write();
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return parent_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return parent_.size(); }
+  void clear() noexcept { parent_.clear(); }
+
+  /// Every label the patch mentions (keys and values) — the set a selective
+  /// rebuild must treat as dirty.
+  template <typename F>
+  void for_touched(F&& fn) const {
+    for (const auto& [k, v] : parent_) {
+      fn(k);
+      fn(v);
+    }
+  }
+
+ private:
+  std::unordered_map<graph::vertex_id, graph::vertex_id> parent_;
+};
+
+/// One oracle version and the frozen graph it reads.
+struct VersionedOracle {
+  std::shared_ptr<const OverlayGraph> graph;
+  connectivity::ConnectivityOracle<OverlayGraph> oracle;
+
+  VersionedOracle(std::shared_ptr<const OverlayGraph> g,
+                  connectivity::ConnectivityOracle<OverlayGraph>&& o)
+      : graph(std::move(g)), oracle(std::move(o)) {}
+};
+
+/// Immutable point-in-time query view. Query cost matches the static oracle
+/// (O(k) expected reads) plus O(|patch|) worst-case patch hops.
+class Snapshot {
+ public:
+  Snapshot(std::uint64_t epoch,
+           std::shared_ptr<const VersionedOracle> state, LabelPatch patch)
+      : epoch_(epoch), state_(std::move(state)), patch_(std::move(patch)) {}
+
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+  [[nodiscard]] std::size_t num_vertices() const {
+    return state_->graph->num_vertices();
+  }
+
+  /// Canonical component label of v at this epoch.
+  [[nodiscard]] graph::vertex_id component_of(graph::vertex_id v) const {
+    return patch_.find(state_->oracle.component_of(v));
+  }
+
+  [[nodiscard]] bool connected(graph::vertex_id u,
+                               graph::vertex_id v) const {
+    return component_of(u) == component_of(v);
+  }
+
+  [[nodiscard]] const connectivity::ConnectivityOracle<OverlayGraph>&
+  oracle() const noexcept {
+    return state_->oracle;
+  }
+  [[nodiscard]] const LabelPatch& patch() const noexcept { return patch_; }
+  [[nodiscard]] const std::shared_ptr<const VersionedOracle>& state()
+      const noexcept {
+    return state_;
+  }
+
+ private:
+  std::uint64_t epoch_;
+  std::shared_ptr<const VersionedOracle> state_;
+  LabelPatch patch_;
+};
+
+/// Bounded ring of the latest snapshots. publish/current/at_epoch are
+/// mutex-guarded (snapshots themselves are immutable, so readers only hold
+/// the lock long enough to copy a shared_ptr). Eviction drops the store's
+/// reference; pinned snapshots live on until their readers release them.
+class SnapshotStore {
+ public:
+  explicit SnapshotStore(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  void publish(std::shared_ptr<const Snapshot> snap) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ring_.push_back(std::move(snap));
+    while (ring_.size() > capacity_) ring_.pop_front();
+  }
+
+  /// Latest snapshot (never null once the owner published epoch 0).
+  [[nodiscard]] std::shared_ptr<const Snapshot> current() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return ring_.empty() ? nullptr : ring_.back();
+  }
+
+  /// Snapshot at an exact epoch, or null if never published / evicted.
+  [[nodiscard]] std::shared_ptr<const Snapshot> at_epoch(
+      std::uint64_t epoch) const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& s : ring_) {
+      if (s->epoch() == epoch) return s;
+    }
+    return nullptr;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return ring_.size();
+  }
+  [[nodiscard]] std::vector<std::uint64_t> epochs() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::uint64_t> out;
+    out.reserve(ring_.size());
+    for (const auto& s : ring_) out.push_back(s->epoch());
+    return out;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<std::shared_ptr<const Snapshot>> ring_;
+  std::size_t capacity_;
+};
+
+}  // namespace wecc::dynamic

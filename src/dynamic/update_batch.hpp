@@ -1,0 +1,52 @@
+// UpdateBatch: one epoch's worth of edge insertions and deletions, applied
+// atomically — readers either see the whole batch (the new snapshot) or none
+// of it (any pinned older snapshot).
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "graph/graph.hpp"
+
+namespace wecc::dynamic {
+
+struct UpdateBatch {
+  graph::EdgeList insertions;
+  graph::EdgeList deletions;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return insertions.empty() && deletions.empty();
+  }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return insertions.size() + deletions.size();
+  }
+
+  static UpdateBatch inserting(graph::EdgeList edges) {
+    return UpdateBatch{std::move(edges), {}};
+  }
+  static UpdateBatch deleting(graph::EdgeList edges) {
+    return UpdateBatch{{}, std::move(edges)};
+  }
+
+  /// Reject endpoints outside the fixed vertex set [0, n) up front, so a
+  /// malformed batch cannot corrupt the working overlay (edge existence for
+  /// deletions is checked against the overlay by the caller).
+  void validate(std::size_t n) const {
+    auto check = [n](const graph::EdgeList& edges, const char* what) {
+      for (const graph::Edge& e : edges) {
+        if (e.u >= n || e.v >= n) {
+          throw std::out_of_range(
+              std::string(what) + " (" + std::to_string(e.u) + ", " +
+              std::to_string(e.v) + ") out of range for n=" +
+              std::to_string(n));
+        }
+      }
+    };
+    check(insertions, "inserted edge");
+    check(deletions, "deleted edge");
+  }
+};
+
+}  // namespace wecc::dynamic

@@ -1,33 +1,79 @@
 #include "graph/io.hpp"
 
+#include <algorithm>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
 namespace wecc::graph::io {
 
+namespace {
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
+  throw std::runtime_error("edge-list line " + std::to_string(line_no) +
+                           ": " + what);
+}
+
+/// A line must parse fully: no trailing non-whitespace tokens. Catches
+/// "1 2 3" edge lines and truncated binary junk pasted into text files.
+void require_line_consumed(std::istringstream& ls, std::size_t line_no) {
+  std::string trailing;
+  if (ls >> trailing) fail(line_no, "trailing token '" + trailing + "'");
+}
+
+}  // namespace
+
 Graph read_edge_list(std::istream& in) {
   std::string line;
-  std::size_t n = 0, m = 0;
+  std::size_t line_no = 0;
+  std::uint64_t n = 0, m = 0;
   bool have_header = false;
   EdgeList edges;
+  // vertex ids are 32-bit; a header promising more vertices than that is
+  // either corrupt or a file this build cannot represent — reject it up
+  // front instead of silently truncating ids later.
+  constexpr std::uint64_t kMaxVertices =
+      std::uint64_t(std::numeric_limits<vertex_id>::max());  // kNoVertex is
+                                                             // reserved
   while (std::getline(in, line)) {
+    ++line_no;
     if (line.empty() || line[0] == '#') continue;
     std::istringstream ls(line);
     if (!have_header) {
-      if (!(ls >> n >> m)) throw std::runtime_error("bad edge-list header");
+      if (!(ls >> n >> m)) fail(line_no, "bad header (expected 'n m')");
+      require_line_consumed(ls, line_no);
+      if (n > kMaxVertices) {
+        fail(line_no, "vertex count " + std::to_string(n) +
+                          " exceeds the 32-bit vertex-id limit");
+      }
       have_header = true;
-      edges.reserve(m);
+      // Pre-size from the header, but never trust it for a huge upfront
+      // allocation — a corrupt m should fail edge-count validation with a
+      // clear error, not bad_alloc here.
+      edges.reserve(std::size_t(std::min<std::uint64_t>(m, 1u << 20)));
       continue;
     }
     std::uint64_t u = 0, v = 0;
-    if (!(ls >> u >> v)) throw std::runtime_error("bad edge line: " + line);
-    if (u >= n || v >= n) throw std::runtime_error("vertex out of range");
+    if (!(ls >> u >> v)) fail(line_no, "bad edge line '" + line + "'");
+    require_line_consumed(ls, line_no);
+    if (u >= n || v >= n) {
+      fail(line_no, "edge (" + std::to_string(u) + ", " + std::to_string(v) +
+                        ") out of range for n=" + std::to_string(n));
+    }
+    if (edges.size() == m) {
+      fail(line_no, "more edges than the header's m=" + std::to_string(m));
+    }
     edges.push_back({vertex_id(u), vertex_id(v)});
   }
+  if (in.bad()) throw std::runtime_error("edge-list read error");
   if (!have_header) throw std::runtime_error("empty edge-list input");
-  if (edges.size() != m) throw std::runtime_error("edge count mismatch");
-  return Graph::from_edges(n, edges);
+  if (edges.size() != m) {
+    throw std::runtime_error(
+        "truncated edge list: header promised " + std::to_string(m) +
+        " edges, got " + std::to_string(edges.size()));
+  }
+  return Graph::from_edges(std::size_t(n), edges);
 }
 
 Graph read_edge_list_file(const std::string& path) {

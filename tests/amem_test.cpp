@@ -134,4 +134,30 @@ TEST_F(AmemTest, ToStringMentionsAllFields) {
   EXPECT_NE(str.find("19"), std::string::npos);  // 3 + 8*2
 }
 
+TEST_F(AmemTest, PhaseBucketsAccumulate) {
+  amem::reset_phases();
+  amem::accumulate_phase("alpha", {5, 2});
+  amem::accumulate_phase("beta", {1, 1});
+  amem::accumulate_phase("alpha", {3, 4});
+  EXPECT_EQ(amem::phase_total("alpha"), (amem::Stats{8, 6}));
+  EXPECT_EQ(amem::phase_total("beta"), (amem::Stats{1, 1}));
+  EXPECT_EQ(amem::phase_total("missing"), (amem::Stats{0, 0}));
+  const auto totals = amem::phase_totals();
+  ASSERT_EQ(totals.size(), 2u);
+  EXPECT_EQ(totals[0].first, "alpha");  // sorted by name
+  EXPECT_EQ(totals[1].first, "beta");
+  amem::reset_phases();
+  EXPECT_TRUE(amem::phase_totals().empty());
+}
+
+TEST_F(AmemTest, ScopedPhaseRecordsDelta) {
+  amem::reset_phases();
+  {
+    amem::ScopedPhase phase("scoped");
+    amem::count_read(7);
+    amem::count_write(2);
+  }
+  EXPECT_EQ(amem::phase_total("scoped"), (amem::Stats{7, 2}));
+}
+
 }  // namespace

@@ -1,0 +1,446 @@
+// Unit tests for the batch-dynamic subsystem: overlay graph deltas,
+// snapshot versioning/isolation, the three update paths, and batch queries.
+// Every connectivity answer is cross-checked against brute force on the
+// materialized current edge set.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "connectivity/cc_oracle.hpp"
+#include "dynamic/batch_query.hpp"
+#include "dynamic/dynamic_connectivity.hpp"
+#include "graph/generators.hpp"
+#include "parallel/rng.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace wecc;
+using dynamic::DynamicConnectivity;
+using dynamic::DynamicOptions;
+using dynamic::OverlayGraph;
+using dynamic::UpdateBatch;
+using dynamic::UpdateReport;
+using graph::Edge;
+using graph::EdgeList;
+using graph::Graph;
+using graph::vertex_id;
+
+using testutil::EdgeSetModel;
+
+void apply_to_model(EdgeSetModel& model, const UpdateBatch& b) {
+  for (const Edge& e : b.deletions) model.remove(e);
+  for (const Edge& e : b.insertions) model.add(e);
+}
+
+void expect_matches_model(const DynamicConnectivity& dc,
+                          const EdgeSetModel& model) {
+  const Graph g = model.materialize();
+  const auto truth = testutil::brute_cc(g);
+  const auto snap = dc.snapshot();
+  for (vertex_id u = 0; u < g.num_vertices(); ++u) {
+    for (vertex_id v = u; v < g.num_vertices(); ++v) {
+      ASSERT_EQ(snap->connected(u, v), truth[u] == truth[v])
+          << "epoch " << snap->epoch() << " pair " << u << "," << v;
+    }
+  }
+}
+
+TEST(OverlayGraph, InsertDeleteMultiplicity) {
+  auto base = std::make_shared<const Graph>(
+      Graph::from_edges(4, {{0, 1}, {1, 2}, {1, 2}}));
+  OverlayGraph og(base);
+  EXPECT_EQ(og.multiplicity(0, 1), 1u);
+  EXPECT_EQ(og.multiplicity(1, 2), 2u);
+  EXPECT_EQ(og.multiplicity(2, 3), 0u);
+
+  og.insert_edge(2, 3);
+  EXPECT_EQ(og.multiplicity(2, 3), 1u);
+  EXPECT_EQ(og.delta_size(), 2u);
+
+  // Deleting an inserted edge cancels it out of the patch entirely.
+  EXPECT_TRUE(og.delete_edge(3, 2));
+  EXPECT_EQ(og.multiplicity(2, 3), 0u);
+  EXPECT_EQ(og.delta_size(), 0u);
+
+  // Deleting one copy of a parallel base edge leaves the other.
+  EXPECT_TRUE(og.delete_edge(1, 2));
+  EXPECT_EQ(og.multiplicity(1, 2), 1u);
+  EXPECT_TRUE(og.delete_edge(1, 2));
+  EXPECT_EQ(og.multiplicity(1, 2), 0u);
+  EXPECT_FALSE(og.delete_edge(1, 2));
+
+  // Reinserting a deleted base edge un-deletes instead of patching.
+  og.insert_edge(1, 2);
+  EXPECT_EQ(og.multiplicity(1, 2), 1u);
+}
+
+TEST(OverlayGraph, NeighborEnumerationAndEdgeList) {
+  auto base = std::make_shared<const Graph>(
+      Graph::from_edges(5, {{0, 1}, {1, 2}, {3, 3}}));
+  OverlayGraph og(base);
+  og.insert_edge(2, 4);
+  ASSERT_TRUE(og.delete_edge(0, 1));
+
+  const auto nbrs = [&](vertex_id v) {
+    std::vector<vertex_id> out;
+    og.for_neighbors(v, [&](vertex_id w) { out.push_back(w); });
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  EXPECT_EQ(nbrs(0), std::vector<vertex_id>{});
+  EXPECT_EQ(nbrs(1), std::vector<vertex_id>{2});
+  EXPECT_EQ(nbrs(2), (std::vector<vertex_id>{1, 4}));
+  EXPECT_EQ(nbrs(3), std::vector<vertex_id>{3});
+  EXPECT_EQ(nbrs(4), std::vector<vertex_id>{2});
+
+  // Materialized list round-trips through Graph::from_edges.
+  const Graph flat = Graph::from_edges(5, og.edge_list());
+  EXPECT_EQ(flat.num_edges(), 3u);
+  const auto truth = testutil::brute_cc(flat);
+  EXPECT_EQ(truth[1], truth[4]);
+  EXPECT_NE(truth[0], truth[1]);
+}
+
+TEST(Dynamic, InsertFastPathMergesComponents) {
+  // Three disjoint paths; insertions stitch them together.
+  const Graph g = Graph::from_edges(
+      9, {{0, 1}, {1, 2}, {3, 4}, {4, 5}, {6, 7}, {7, 8}});
+  EdgeSetModel model(9, g.edge_list());
+  DynamicOptions opt;
+  opt.oracle.k = 3;
+  DynamicConnectivity dc(g, opt);
+  EXPECT_FALSE(dc.connected(0, 5));
+
+  UpdateBatch b1 = UpdateBatch::inserting({{2, 3}});
+  const UpdateReport r1 = dc.apply(b1);
+  apply_to_model(model, b1);
+  EXPECT_EQ(r1.path, UpdateReport::Path::kFastInsert);
+  EXPECT_EQ(r1.epoch, 1u);
+  expect_matches_model(dc, model);
+
+  UpdateBatch b2 = UpdateBatch::inserting({{5, 6}, {0, 8}});
+  const UpdateReport r2 = dc.apply(b2);
+  apply_to_model(model, b2);
+  EXPECT_EQ(r2.path, UpdateReport::Path::kFastInsert);
+  expect_matches_model(dc, model);
+  EXPECT_TRUE(dc.connected(0, 8));
+}
+
+TEST(Dynamic, DeletionsTriggerSelectiveRebuildAndSplit) {
+  const Graph g = graph::gen::cycle(12);
+  EdgeSetModel model(12, g.edge_list());
+  DynamicOptions opt;
+  opt.oracle.k = 3;
+  DynamicConnectivity dc(g, opt);
+
+  // One deletion keeps the cycle connected (it becomes a path).
+  UpdateBatch b1 = UpdateBatch::deleting({{0, 1}});
+  const UpdateReport r1 = dc.apply(b1);
+  apply_to_model(model, b1);
+  EXPECT_EQ(r1.path, UpdateReport::Path::kSelectiveRebuild);
+  EXPECT_GE(r1.dirty_labels, 1u);
+  expect_matches_model(dc, model);
+  EXPECT_TRUE(dc.connected(0, 1));
+
+  // A second deletion splits the path in two.
+  UpdateBatch b2 = UpdateBatch::deleting({{6, 7}});
+  dc.apply(b2);
+  apply_to_model(model, b2);
+  expect_matches_model(dc, model);
+  EXPECT_TRUE(dc.connected(0, 11));   // via the surviving (11, 0) edge
+  EXPECT_TRUE(dc.connected(1, 6));
+  EXPECT_FALSE(dc.connected(1, 7));   // the split: {1..6} vs {7..11, 0}
+  EXPECT_FALSE(dc.connected(0, 1));
+}
+
+TEST(Dynamic, MixedBatchesAgainstBruteForce) {
+  const Graph g = graph::gen::random_regular_ish(60, 3, 5);
+  EdgeSetModel model(60, g.edge_list());
+  DynamicOptions opt;
+  opt.oracle.k = 4;
+  DynamicConnectivity dc(g, opt);
+
+  EdgeList current = g.edge_list();
+  std::uint64_t rng_state = 99;
+  auto next = [&rng_state](std::uint64_t mod) {
+    rng_state = parallel::mix64(rng_state + 0x9e3779b97f4a7c15ull);
+    return rng_state % mod;
+  };
+  for (int round = 0; round < 12; ++round) {
+    UpdateBatch batch;
+    for (int i = 0; i < 3 && !current.empty(); ++i) {
+      const std::size_t idx = next(current.size());
+      batch.deletions.push_back(current[idx]);
+      current.erase(current.begin() + std::ptrdiff_t(idx));
+    }
+    for (int i = 0; i < 3; ++i) {
+      const Edge e{vertex_id(next(60)), vertex_id(next(60))};
+      batch.insertions.push_back(e);
+      current.push_back({std::min(e.u, e.v), std::max(e.u, e.v)});
+    }
+    dc.apply(batch);
+    apply_to_model(model, batch);
+    expect_matches_model(dc, model);
+  }
+}
+
+TEST(Dynamic, SnapshotIsolationAcrossEpochs) {
+  const Graph g = Graph::from_edges(6, {{0, 1}, {2, 3}, {4, 5}});
+  DynamicOptions opt;
+  opt.oracle.k = 2;
+  DynamicConnectivity dc(g, opt);
+
+  const auto pinned = dc.snapshot();
+  EXPECT_EQ(pinned->epoch(), 0u);
+  EXPECT_FALSE(pinned->connected(1, 2));
+
+  dc.insert_edges({{1, 2}});
+  dc.delete_edges({{0, 1}});
+
+  // The pinned epoch-0 view is untouched by both later epochs.
+  EXPECT_FALSE(pinned->connected(1, 2));
+  EXPECT_TRUE(pinned->connected(0, 1));
+  // The current view reflects them.
+  const auto now = dc.snapshot();
+  EXPECT_EQ(now->epoch(), 2u);
+  EXPECT_TRUE(now->connected(1, 2));
+  EXPECT_FALSE(now->connected(0, 1));
+}
+
+TEST(Dynamic, SnapshotStoreRingEviction) {
+  const Graph g = graph::gen::path(8);
+  DynamicOptions opt;
+  opt.oracle.k = 2;
+  opt.snapshot_capacity = 3;
+  DynamicConnectivity dc(g, opt);
+
+  for (int i = 0; i < 5; ++i) dc.insert_edges({{0, 7}});
+  EXPECT_EQ(dc.store().size(), 3u);
+  EXPECT_EQ(dc.store().epochs(), (std::vector<std::uint64_t>{3, 4, 5}));
+  EXPECT_EQ(dc.store().at_epoch(1), nullptr);
+  ASSERT_NE(dc.store().at_epoch(4), nullptr);
+  EXPECT_EQ(dc.store().at_epoch(4)->epoch(), 4u);
+}
+
+TEST(Dynamic, CompactionThresholdTriggersFullRebuild) {
+  const Graph g = graph::gen::path(32);
+  EdgeSetModel model(32, g.edge_list());
+  DynamicOptions opt;
+  opt.oracle.k = 3;
+  opt.compact_threshold = 6;  // 3 undirected inserted edges
+  DynamicConnectivity dc(g, opt);
+
+  UpdateBatch big = UpdateBatch::inserting({{0, 31}, {5, 20}, {9, 27}});
+  const UpdateReport r = dc.apply(big);
+  apply_to_model(model, big);
+  EXPECT_EQ(r.path, UpdateReport::Path::kCompaction);
+  EXPECT_EQ(dc.overlay_delta_size(), 0u);
+  expect_matches_model(dc, model);
+
+  // Post-compaction updates still work on the flattened base.
+  UpdateBatch del = UpdateBatch::deleting({{9, 27}, {15, 16}});
+  dc.apply(del);
+  apply_to_model(model, del);
+  expect_matches_model(dc, model);
+}
+
+TEST(Dynamic, ExplicitCompactEquivalent) {
+  const Graph g = graph::gen::cycle(16);
+  EdgeSetModel model(16, g.edge_list());
+  DynamicOptions opt;
+  opt.oracle.k = 3;
+  DynamicConnectivity dc(g, opt);
+
+  UpdateBatch b;
+  b.deletions = {{0, 1}, {8, 9}};
+  b.insertions = {{0, 8}};
+  dc.apply(b);
+  apply_to_model(model, b);
+  const UpdateReport r = dc.compact();
+  EXPECT_EQ(r.path, UpdateReport::Path::kCompaction);
+  expect_matches_model(dc, model);
+}
+
+TEST(Dynamic, RejectsMalformedBatches) {
+  const Graph g = graph::gen::path(5);
+  DynamicConnectivity dc(g, {});
+  EXPECT_THROW(dc.insert_edges({{0, 5}}), std::out_of_range);
+  EXPECT_THROW(dc.delete_edges({{0, 2}}), std::invalid_argument);
+  // Deleting the same edge twice when only one copy exists.
+  EXPECT_THROW(dc.delete_edges({{0, 1}, {0, 1}}), std::invalid_argument);
+  // Failed batches leave the structure untouched.
+  EXPECT_EQ(dc.epoch(), 0u);
+  EXPECT_TRUE(dc.connected(0, 1));
+}
+
+TEST(Dynamic, SelfLoopsAndParallelEdges) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {2, 2}});
+  EdgeSetModel model(4, g.edge_list());
+  DynamicOptions opt;
+  opt.oracle.k = 2;
+  DynamicConnectivity dc(g, opt);
+
+  UpdateBatch b;
+  b.insertions = {{1, 1}, {0, 1}, {2, 3}};  // self loop + parallel + join
+  dc.apply(b);
+  apply_to_model(model, b);
+  expect_matches_model(dc, model);
+
+  UpdateBatch d;
+  d.deletions = {{0, 1}, {2, 2}};  // one parallel copy + base self loop
+  dc.apply(d);
+  apply_to_model(model, d);
+  expect_matches_model(dc, model);
+  EXPECT_TRUE(dc.connected(0, 1));  // second copy still there
+}
+
+TEST(Dynamic, DeletionStrandingSecondaryCenter) {
+  // Regression: on path(20) with k=8, seed=1 the static build places a
+  // primary at one end and a secondary mid-path; deleting (5, 6) cuts the
+  // secondary's side off from every primary. The selective rebuild must
+  // survive (it re-installs reused centers as primaries) instead of
+  // throwing "not a center" from the clusters-graph BFS mid-update.
+  const Graph g = graph::gen::path(20);
+  EdgeSetModel model(20, g.edge_list());
+  DynamicOptions opt;
+  opt.oracle.k = 8;
+  opt.oracle.seed = 1;
+  DynamicConnectivity dc(g, opt);
+
+  UpdateBatch cut = UpdateBatch::deleting({{5, 6}});
+  ASSERT_NO_THROW(dc.apply(cut));
+  apply_to_model(model, cut);
+  expect_matches_model(dc, model);
+  EXPECT_FALSE(dc.connected(5, 6));
+  EXPECT_TRUE(dc.connected(0, 5));
+  EXPECT_TRUE(dc.connected(6, 19));
+
+  // And the structure keeps working after the stranded-center epoch.
+  UpdateBatch rejoin = UpdateBatch::inserting({{2, 18}});
+  dc.apply(rejoin);
+  apply_to_model(model, rejoin);
+  expect_matches_model(dc, model);
+}
+
+TEST(Dynamic, VirtualComponentMergesAndSplits) {
+  // Tiny (sub-k) components exercise the virtual-center label space.
+  const Graph g = Graph::from_edges(30, {{0, 1}, {2, 3}, {4, 5}});
+  EdgeSetModel model(30, g.edge_list());
+  DynamicOptions opt;
+  opt.oracle.k = 8;  // everything is a virtual component
+  DynamicConnectivity dc(g, opt);
+
+  UpdateBatch join = UpdateBatch::inserting({{1, 2}, {3, 4}});
+  dc.apply(join);
+  apply_to_model(model, join);
+  expect_matches_model(dc, model);
+  EXPECT_TRUE(dc.connected(0, 5));
+
+  UpdateBatch cut = UpdateBatch::deleting({{2, 3}});
+  dc.apply(cut);
+  apply_to_model(model, cut);
+  expect_matches_model(dc, model);
+  EXPECT_FALSE(dc.connected(0, 5));
+  EXPECT_TRUE(dc.connected(0, 2));
+}
+
+TEST(Dynamic, CurrentEdgeListTracksWorkingGraph) {
+  // Regression for the bench self-verification: after fast-path inserts on
+  // a disconnected graph, a fresh oracle on current_edge_list() must agree
+  // with the snapshot (whose frozen graph is behind, patched by labels).
+  const Graph g = Graph::from_edges(6, {{0, 1}, {2, 3}, {4, 5}});
+  DynamicOptions opt;
+  opt.oracle.k = 2;
+  DynamicConnectivity dc(g, opt);
+  dc.insert_edges({{2, 3}, {1, 4}});  // parallel copy + cross-component
+
+  const auto edges = dc.current_edge_list();
+  EXPECT_EQ(edges.size(), 5u);
+  const Graph flat = Graph::from_edges(6, edges);
+  connectivity::CcOracleOptions sopt;
+  sopt.k = 2;
+  const auto fresh =
+      connectivity::ConnectivityOracle<Graph>::build(flat, sopt);
+  const auto snap = dc.snapshot();
+  for (vertex_id u = 0; u < 6; ++u) {
+    for (vertex_id v = u; v < 6; ++v) {
+      ASSERT_EQ(snap->connected(u, v), fresh.connected(u, v)) << u << "," << v;
+    }
+  }
+}
+
+TEST(BatchQuery, MatchesScalarQueries) {
+  const Graph g = graph::gen::percolation_grid(12, 12, 0.5, 3);
+  DynamicOptions opt;
+  opt.oracle.k = 4;
+  DynamicConnectivity dc(g, opt);
+  dc.insert_edges({{0, 143}, {7, 99}});
+
+  const auto snap = dc.snapshot();
+  const dynamic::BatchQueryEngine engine(snap);
+  std::vector<dynamic::VertexPair> pairs;
+  std::vector<vertex_id> singles;
+  for (vertex_id i = 0; i < 144; ++i) {
+    pairs.push_back({i, vertex_id((i * 37 + 5) % 144)});
+    singles.push_back(i);
+  }
+  const auto got = engine.connected(pairs);
+  const auto comps = engine.components(singles);
+  ASSERT_EQ(got.size(), pairs.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ(got[i] != 0, snap->connected(pairs[i].u, pairs[i].v)) << i;
+    EXPECT_EQ(comps[i], snap->component_of(singles[i])) << i;
+  }
+}
+
+TEST(BatchQuery, PinnedEngineSurvivesEviction) {
+  const Graph g = graph::gen::path(10);
+  DynamicOptions opt;
+  opt.oracle.k = 2;
+  opt.snapshot_capacity = 1;
+  DynamicConnectivity dc(g, opt);
+
+  const dynamic::BatchQueryEngine engine(dc.snapshot());
+  for (int i = 0; i < 4; ++i) dc.delete_edges({{vertex_id(i), vertex_id(i + 1)}});
+  // Store only holds the latest epoch, but the engine's pin is intact.
+  EXPECT_EQ(dc.store().size(), 1u);
+  const std::vector<dynamic::VertexPair> q{{0, 9}};
+  EXPECT_EQ(engine.connected(q)[0], 1);  // epoch-0 answer
+  EXPECT_FALSE(dc.connected(0, 9));      // current answer
+}
+
+TEST(Dynamic, AsyncApplyPublishes) {
+  const Graph g = graph::gen::cycle(20);
+  DynamicOptions opt;
+  opt.oracle.k = 3;
+  DynamicConnectivity dc(g, opt);
+  auto fut = dc.apply_async(UpdateBatch::deleting({{0, 1}}));
+  const UpdateReport r = fut.get();
+  EXPECT_EQ(r.epoch, 1u);
+  EXPECT_EQ(dc.snapshot()->epoch(), 1u);
+  EXPECT_TRUE(dc.connected(0, 1));  // still connected the long way round
+}
+
+TEST(Dynamic, UpdateWritesStaySublinear) {
+  // The write-efficiency claim: a B-edge insert batch charges O(B) writes,
+  // not O(n).
+  const Graph g = graph::gen::grid2d(40, 40);
+  DynamicOptions opt;
+  opt.oracle.k = 6;
+  DynamicConnectivity dc(g, opt);
+
+  EdgeList batch;
+  for (vertex_id i = 0; i < 32; ++i) {
+    batch.push_back({i, vertex_id(1600 - 1 - i)});
+  }
+  amem::reset();
+  dc.insert_edges(batch);
+  const auto cost = amem::snapshot();
+  // 2 arcs + O(1) patch entries per edge, plus the snapshot publish; far
+  // below n = 1600.
+  EXPECT_LT(cost.writes, 10 * batch.size());
+}
+
+}  // namespace

@@ -1,0 +1,100 @@
+// Edge-list I/O validation: well-formed round trips plus the malformed /
+// truncated inputs read_edge_list must reject with clear errors (not UB).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+
+namespace {
+
+using namespace wecc;
+using graph::Graph;
+
+Graph parse(const std::string& text) {
+  std::istringstream in(text);
+  return graph::io::read_edge_list(in);
+}
+
+testing::AssertionResult rejects(const std::string& text,
+                                 const std::string& needle) {
+  try {
+    parse(text);
+  } catch (const std::runtime_error& e) {
+    if (std::string(e.what()).find(needle) != std::string::npos) {
+      return testing::AssertionSuccess();
+    }
+    return testing::AssertionFailure()
+           << "error '" << e.what() << "' lacks '" << needle << "'";
+  }
+  return testing::AssertionFailure() << "input accepted";
+}
+
+TEST(Io, RoundTrip) {
+  const Graph g = graph::gen::percolation_grid(8, 8, 0.6, 4);
+  std::ostringstream out;
+  graph::io::write_edge_list(g, out);
+  std::istringstream in(out.str());
+  const Graph h = graph::io::read_edge_list(in);
+  EXPECT_EQ(h.num_vertices(), g.num_vertices());
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  EXPECT_EQ(h.edge_list(), g.edge_list());
+}
+
+TEST(Io, CommentsAndBlankLines) {
+  const Graph g = parse("# header comment\n\n3 2\n# mid comment\n0 1\n1 2\n");
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(Io, RejectsEmptyInput) {
+  EXPECT_TRUE(rejects("", "empty"));
+  EXPECT_TRUE(rejects("# only comments\n", "empty"));
+}
+
+TEST(Io, RejectsBadHeader) {
+  EXPECT_TRUE(rejects("nope\n", "bad header"));
+  EXPECT_TRUE(rejects("3\n", "bad header"));
+  EXPECT_TRUE(rejects("3 2 7\n0 1\n1 2\n", "trailing token"));
+}
+
+TEST(Io, RejectsOutOfRangeVertices) {
+  EXPECT_TRUE(rejects("3 1\n0 3\n", "out of range"));
+  EXPECT_TRUE(rejects("3 1\n7 1\n", "out of range"));
+  // The offending line number is part of the message.
+  EXPECT_TRUE(rejects("3 1\n0 3\n", "line 2"));
+}
+
+TEST(Io, RejectsOverlargeVertexCount) {
+  EXPECT_TRUE(rejects("99999999999 0\n", "32-bit"));
+}
+
+TEST(Io, HugeHeaderEdgeCountFailsCleanly) {
+  // A corrupt edge count must hit edge-count validation, not a huge
+  // upfront allocation.
+  EXPECT_TRUE(rejects("3 10000000000000000000\n0 1\n", "truncated"));
+}
+
+TEST(Io, RejectsMalformedEdgeLines) {
+  EXPECT_TRUE(rejects("3 1\n0\n", "bad edge line"));
+  EXPECT_TRUE(rejects("3 1\nx y\n", "bad edge line"));
+  EXPECT_TRUE(rejects("3 1\n0 1 2\n", "trailing token"));
+}
+
+TEST(Io, RejectsTruncatedAndOverfullEdgeLists) {
+  EXPECT_TRUE(rejects("3 2\n0 1\n", "truncated"));
+  EXPECT_TRUE(rejects("3 1\n0 1\n1 2\n", "more edges"));
+}
+
+TEST(Io, FileRoundTripAndMissingFile) {
+  EXPECT_THROW(graph::io::read_edge_list_file("/nonexistent/path.el"),
+               std::runtime_error);
+  const Graph g = graph::gen::cycle(5);
+  const std::string path = testing::TempDir() + "/wecc_io_test.el";
+  graph::io::write_edge_list_file(g, path);
+  const Graph h = graph::io::read_edge_list_file(path);
+  EXPECT_EQ(h.edge_list(), g.edge_list());
+}
+
+}  // namespace

@@ -3,12 +3,16 @@
 // failure-injection-style inputs that target specific machinery.
 #include <gtest/gtest.h>
 
+#include <map>
+
 #include "amem/counters.hpp"
 #include "biconn/bc_labeling.hpp"
 #include "biconn/biconn_oracle.hpp"
 #include "connectivity/cc_oracle.hpp"
 #include "connectivity/we_cc.hpp"
+#include "dynamic/dynamic_connectivity.hpp"
 #include "graph/generators.hpp"
+#include "parallel/rng.hpp"
 #include "test_util.hpp"
 
 namespace {
@@ -131,6 +135,56 @@ TEST(Stress, AdversarialSeedSweepOnFigure2) {
         ASSERT_EQ(o.biconnected(u, v), bc.same_bcc(u, v))
             << "seed " << seed << " " << u << "," << v;
       }
+    }
+  }
+}
+
+TEST(Stress, DynamicBatchesAgainstFromScratchOracleRebuild) {
+  // Random graph, randomized insert/delete batches; after every epoch the
+  // dynamic snapshot must induce the same partition as a ConnectivityOracle
+  // built from scratch on the current edge set (the acceptance bar: dynamic
+  // paths may never drift from the static oracle).
+  const std::size_t n = 3000;
+  const graph::Graph g0 = graph::gen::random_regular_ish(n, 3, 21);
+  dynamic::DynamicOptions opt;
+  opt.oracle.k = 8;
+  dynamic::DynamicConnectivity dc(g0, opt);
+
+  testutil::EdgeSetModel model(n, g0.edge_list());
+  std::uint64_t rs = 4242;
+  auto next = [&rs](std::uint64_t mod) {
+    rs = parallel::mix64(rs + 0x9e3779b97f4a7c15ull);
+    return rs % mod;
+  };
+  for (int round = 0; round < 6; ++round) {
+    dynamic::UpdateBatch batch;
+    // Delete ~8 random existing edges.
+    for (int i = 0; i < 8 && !model.edges().empty(); ++i) {
+      auto it = model.edges().begin();
+      std::advance(it, std::ptrdiff_t(next(model.edges().size())));
+      const graph::Edge e{it->first.first, it->first.second};
+      batch.deletions.push_back(e);
+      model.remove(e);
+    }
+    // Insert ~8 random edges (dups/self-loops allowed).
+    for (int i = 0; i < 8; ++i) {
+      const graph::Edge e{vertex_id(next(n)), vertex_id(next(n))};
+      batch.insertions.push_back(e);
+      model.add(e);
+    }
+    dc.apply(batch);
+
+    const graph::Graph now = model.materialize();
+    connectivity::CcOracleOptions sopt;
+    sopt.k = 8;
+    const auto fresh =
+        connectivity::ConnectivityOracle<graph::Graph>::build(now, sopt);
+    const auto snap = dc.snapshot();
+    for (vertex_id i = 0; i < 2500; ++i) {
+      const auto u = vertex_id((i * 2654435761u) % n);
+      const auto v = vertex_id((i * 40503u + round) % n);
+      ASSERT_EQ(snap->connected(u, v), fresh.connected(u, v))
+          << "round " << round << " pair " << u << "," << v;
     }
   }
 }

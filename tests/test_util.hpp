@@ -3,6 +3,8 @@
 
 #include <algorithm>
 #include <map>
+#include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -46,6 +48,47 @@ bool same_partition(const A& a, const B& b, std::size_t n) {
   }
   return true;
 }
+
+/// Reference model for dynamic-graph tests: the current edge multiset,
+/// materializable into a Graph for brute-force comparison. remove() throws
+/// if the edge is absent (the test then fails with the exception).
+class EdgeSetModel {
+ public:
+  using Key = std::pair<graph::vertex_id, graph::vertex_id>;
+
+  EdgeSetModel(std::size_t n, const graph::EdgeList& edges) : n_(n) {
+    for (const graph::Edge& e : edges) add(e);
+  }
+
+  void add(const graph::Edge& e) { ++edges_[key(e)]; }
+
+  void remove(const graph::Edge& e) {
+    const auto it = edges_.find(key(e));
+    if (it == edges_.end()) {
+      throw std::logic_error("EdgeSetModel: removing absent edge");
+    }
+    if (--it->second == 0) edges_.erase(it);
+  }
+
+  [[nodiscard]] const std::map<Key, std::size_t>& edges() const {
+    return edges_;
+  }
+
+  [[nodiscard]] graph::Graph materialize() const {
+    graph::EdgeList out;
+    for (const auto& [k, cnt] : edges_) {
+      for (std::size_t i = 0; i < cnt; ++i) out.push_back({k.first, k.second});
+    }
+    return graph::Graph::from_edges(n_, out);
+  }
+
+ private:
+  static Key key(const graph::Edge& e) {
+    return {std::min(e.u, e.v), std::max(e.u, e.v)};
+  }
+  std::size_t n_;
+  std::map<Key, std::size_t> edges_;
+};
 
 /// Is `edges` a spanning forest of g (acyclic, right count, edges exist)?
 inline bool is_spanning_forest(const graph::Graph& g,
