@@ -24,8 +24,11 @@
 // the million-vertex rows.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <memory>
+#include <new>
 #include <unordered_map>
 
 #include "bench_common.hpp"
@@ -34,6 +37,22 @@
 #include "dynamic/dynamic_connectivity.hpp"
 #include "graph/generators.hpp"
 #include "parallel/rng.hpp"
+
+// Process-wide heap-allocation counter (replaceable global operator new;
+// operator new[] funnels through it). The enumeration row uses it to *prove*
+// the overlay neighbor hot path performs zero heap allocations, not just to
+// time it.
+namespace benchalloc {
+inline std::atomic<std::uint64_t> count{0};
+}  // namespace benchalloc
+
+void* operator new(std::size_t size) {
+  benchalloc::count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -265,6 +284,114 @@ void BM_SnapshotBatchQueries(benchmark::State& state) {
   state.SetItemsProcessed(std::int64_t(rounds * queries));
 }
 BENCHMARK(BM_SnapshotBatchQueries)
+    ->Unit(benchmark::kMillisecond)
+    ->Args({100000, 4096})
+    ->Args({1000000, 4096});
+
+void BM_OverlayNeighborEnumeration(benchmark::State& state) {
+  // Delete-heavy overlay enumeration: every third base edge is removed
+  // through the delta layer (so nearly every vertex carries a deletion
+  // patch) plus a sprinkle of inserted edges. This is the rho hot path —
+  // every decomposition query walks for_neighbors — and the row fails if
+  // the steady-state enumeration performs any heap allocation.
+  const auto n = std::size_t(state.range(0));
+  static std::unordered_map<std::size_t,
+                            std::unique_ptr<dynamic::OverlayGraph>>
+      cache;
+  auto& og = cache[n];
+  if (!og) {
+    auto base = std::make_shared<const graph::Graph>(
+        make_graph(Shape::kConnected, n));
+    og = std::make_unique<dynamic::OverlayGraph>(base);
+    const auto edges = base->edge_list();
+    for (std::size_t i = 0; i < edges.size(); i += 3) {
+      og->delete_edge(edges[i].u, edges[i].v);
+    }
+    std::uint64_t rs = 2024;
+    for (const auto& e : random_edges(n, n / 16, rs)) {
+      og->insert_edge(e.u, e.v);
+    }
+  }
+  std::uint64_t arcs = 0, allocs = 0;
+  std::size_t passes = 0;
+  for (auto _ : state) {
+    const auto a0 = benchalloc::count.load(std::memory_order_relaxed);
+    std::uint64_t sum = 0, cnt = 0;
+    for (vertex_id v = 0; v < vertex_id(n); ++v) {
+      og->for_neighbors(v, [&](vertex_id w) {
+        sum += w;
+        ++cnt;
+      });
+    }
+    benchmark::DoNotOptimize(sum);
+    allocs += benchalloc::count.load(std::memory_order_relaxed) - a0;
+    arcs += cnt;
+    ++passes;
+  }
+  state.counters["allocs_per_pass"] = double(allocs) / double(passes);
+  state.counters["n"] = double(n);
+  state.SetItemsProcessed(std::int64_t(arcs));
+  if (allocs != 0) {
+    state.SkipWithError("overlay neighbor enumeration allocated on the hot path");
+  }
+}
+BENCHMARK(BM_OverlayNeighborEnumeration)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(100000)
+    ->Arg(1000000);
+
+void BM_SnapshotQueriesDeleteHeavy(benchmark::State& state) {
+  // Query throughput when the snapshot's frozen overlay carries a large
+  // deletion patch (selective rebuilds, no compaction): rho() enumerates
+  // patched adjacencies on every query, so this measures the end-to-end
+  // effect of the allocation-free merge on reads.
+  const auto n = std::size_t(state.range(0));
+  const auto queries = std::size_t(state.range(1));
+  static std::unordered_map<std::size_t,
+                            std::unique_ptr<dynamic::DynamicConnectivity>>
+      cache;
+  auto& dc = cache[n];
+  if (!dc) {
+    dynamic::DynamicOptions opt;
+    opt.oracle.k = kOracleK;
+    dc = std::make_unique<dynamic::DynamicConnectivity>(
+        make_graph(Shape::kConnected, n), opt);
+    // Delete base edges in batches, staying under the compaction threshold
+    // so the deletion patches survive into the published snapshot.
+    const auto edges = dc->snapshot()->state()->graph->base().edge_list();
+    const std::size_t target = std::min(
+        {std::size_t(12000), dc->compact_threshold() / 4, edges.size() / 2});
+    graph::EdgeList batch;
+    for (std::size_t i = 0; i < target; ++i) {
+      batch.push_back(edges[i * 2]);
+      if (batch.size() == 1024) {
+        dc->delete_edges(std::move(batch));
+        batch = {};
+      }
+    }
+    if (!batch.empty()) dc->delete_edges(std::move(batch));
+  }
+  std::uint64_t rs = 31337;
+  std::vector<dynamic::VertexPair> pairs(queries);
+  for (auto& p : pairs) {
+    rs = parallel::mix64(rs + 1);
+    p.u = vertex_id(rs % n);
+    rs = parallel::mix64(rs);
+    p.v = vertex_id(rs % n);
+  }
+  const dynamic::BatchQueryEngine engine(dc->snapshot());
+  amem::reset();
+  std::size_t rounds = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.connected(pairs));
+    ++rounds;
+  }
+  state.counters["reads_per_query"] =
+      double(amem::snapshot().reads) / double(rounds * queries);
+  state.counters["n"] = double(n);
+  state.SetItemsProcessed(std::int64_t(rounds * queries));
+}
+BENCHMARK(BM_SnapshotQueriesDeleteHeavy)
     ->Unit(benchmark::kMillisecond)
     ->Args({100000, 4096})
     ->Args({1000000, 4096});

@@ -22,6 +22,7 @@ namespace {
 
 const char* path_name(dynamic::UpdateReport::Path p) {
   switch (p) {
+    case dynamic::UpdateReport::Path::kInitialBuild: return "initial-build";
     case dynamic::UpdateReport::Path::kFastInsert: return "fast-insert";
     case dynamic::UpdateReport::Path::kSelectiveRebuild: return "selective";
     case dynamic::UpdateReport::Path::kCompaction: return "compaction";

@@ -5,13 +5,20 @@
 # correctness regression in the hot paths fails CI, not just the unit tests.
 #
 # Usage: scripts/check.sh [build-dir]   (default: build)
-# Env:   CXX/CC respected by cmake as usual; WECC_THREADS caps the pool.
+# Env:   CXX/CC respected by cmake as usual; WECC_THREADS caps the pool;
+#        WECC_SANITIZE=address,undefined (etc.) instruments the whole build
+#        with the given sanitizers (what the CI asan job sets).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 
-cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+CMAKE_ARGS=(-DCMAKE_BUILD_TYPE=RelWithDebInfo)
+if [[ -n "${WECC_SANITIZE:-}" ]]; then
+  CMAKE_ARGS+=("-DWECC_SANITIZE=${WECC_SANITIZE}")
+fi
+
+cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

@@ -23,6 +23,19 @@
 //    from scratch, restoring the static bounds. Amortized over the
 //    threshold's worth of updates this keeps per-update cost sublinear.
 //
+// Exception safety: apply()/compact() give the *strong* guarantee, by two
+// mechanisms matched to each path's cost budget. The rebuild/compaction
+// paths stage the batch into scratch copies of the working overlay and
+// pending label patch, run entirely against the staged state, and swap the
+// members (base_, working_, state_, patch_) in with noexcept moves only
+// after the new epoch's snapshot has been fully constructed and published.
+// The O(B) insert fast path instead mutates the working overlay in place
+// under a nothrow undo log (OverlayGraph::insert_edge_logged), so it never
+// pays an O(delta) copy; a throw unwinds the log. Either way, any
+// exception — pre-validation (std::out_of_range / std::invalid_argument),
+// a bad_alloc mid-rebuild, or a throw from user code reached during the
+// build — leaves the structure exactly at the previous epoch.
+//
 // Concurrency: apply()/compact() are serialized internally; readers never
 // block — they pin an immutable Snapshot from the store (or hand it to a
 // BatchQueryEngine) and keep querying that epoch while the next version
@@ -37,9 +50,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <type_traits>
 #include <unordered_set>
 #include <utility>
 #include <vector>
@@ -63,6 +78,7 @@ struct DynamicOptions {
 /// What one apply() did — which path ran and how much it touched.
 struct UpdateReport {
   enum class Path : std::uint8_t {
+    kInitialBuild,  // epoch-0 publish from the constructor
     kFastInsert,
     kSelectiveRebuild,
     kCompaction,
@@ -88,8 +104,8 @@ class DynamicConnectivity {
           32768,
           base_->num_vertices() / std::max<std::size_t>(1, opt_.oracle.k));
     }
-    install_full_build(std::make_shared<const OverlayGraph>(working_));
-    publish(UpdateReport{epoch_, UpdateReport::Path::kCompaction});
+    const UpdateReport report{0, UpdateReport::Path::kInitialBuild};
+    publish_and_commit(stage_full_build(base_), report);
   }
 
   /// Fixed at construction (only edges are dynamic), so this is safe to
@@ -134,42 +150,64 @@ class DynamicConnectivity {
     return snapshot()->component_of(v);
   }
 
-  /// Apply one batch atomically and publish the next epoch. Throws
-  /// std::out_of_range for endpoints outside [0, n) and
-  /// std::invalid_argument for deleting edges that are not present; both
-  /// are raised before any mutation, leaving the structure unchanged. A
-  /// later exception (e.g. bad_alloc mid-rebuild) is not rolled back: the
-  /// working graph then holds the batch while the published epoch does
-  /// not — call compact() to resynchronize before further updates.
+  /// Apply one batch atomically and publish the next epoch, with the strong
+  /// exception guarantee. Throws std::out_of_range for endpoints outside
+  /// [0, n) and std::invalid_argument for deleting edges that are not
+  /// present; a later exception (e.g. bad_alloc mid-rebuild) is equally
+  /// harmless because the batch runs against staged copies — in every case
+  /// the working graph, labels, pending patch, and published epoch are left
+  /// exactly as they were before the call.
   UpdateReport apply(const UpdateBatch& batch) {
     const std::lock_guard<std::mutex> lock(write_mu_);
     batch.validate(num_vertices());
     check_deletions_exist(batch.deletions);
     const amem::Phase measure;
+
+    UpdateReport report;
+    report.epoch = epoch() + 1;
+
+    // Insertion-only batches that stay under the compaction threshold take
+    // the O(B) fast path: working_ is mutated in place under a nothrow undo
+    // log instead of paying the O(delta) staged copy the rebuild paths
+    // need. The projected delta is exact (dry run), so the path choice
+    // matches what the staged mutation would have produced.
+    if (batch.deletions.empty() &&
+        working_.delta_after_inserting(batch.insertions) <
+            opt_.compact_threshold) {
+      report.path = UpdateReport::Path::kFastInsert;
+      apply_fast_insert(batch.insertions, report, measure);
+      return report;
+    }
+
+    // Rebuild paths: stage the batch into a scratch overlay (O(delta)
+    // copy, the same bound as the frozen-overlay copy every rebuild epoch
+    // already pays); working_ stays untouched until publish_and_commit.
+    OverlayGraph staged = working_;
     for (const graph::Edge& e : batch.deletions) {
-      working_.delete_edge(e.u, e.v);
+      staged.delete_edge(e.u, e.v);
     }
     for (const graph::Edge& e : batch.insertions) {
-      working_.insert_edge(e.u, e.v);
+      staged.insert_edge(e.u, e.v);
     }
-    UpdateReport report;
+
     const char* phase_name;
-    if (working_.delta_size() >= opt_.compact_threshold) {
-      compact_locked();
-      report.path = UpdateReport::Path::kCompaction;
-      phase_name = "dynamic/compaction";
-    } else if (!batch.deletions.empty()) {
-      rebuild_selective(batch, report);
+    Staged next = [&] {
+      if (staged.delta_size() >= opt_.compact_threshold) {
+        report.path = UpdateReport::Path::kCompaction;
+        phase_name = "dynamic/compaction";
+        return stage_compaction(staged);
+      }
       report.path = UpdateReport::Path::kSelectiveRebuild;
       phase_name = "dynamic/selective_rebuild";
-    } else {
-      patch_insertions(batch.insertions);
-      report.path = UpdateReport::Path::kFastInsert;
-      phase_name = "dynamic/insert_fastpath";
-    }
-    report.epoch = epoch() + 1;
-    publish(report);
+      return stage_selective_rebuild(std::move(staged), batch, report);
+    }();
+    if (failure_hook_) failure_hook_(report.path);
+    // Phase accounting happens before the commit point: accumulate_phase
+    // allocates (bucket lookup), and nothing after it may throw once the
+    // epoch publishes. publish_and_commit performs no counted accesses, so
+    // the measured delta is still complete.
     amem::accumulate_phase(phase_name, measure.delta());
+    publish_and_commit(std::move(next), report);
     return report;
   }
 
@@ -187,20 +225,44 @@ class DynamicConnectivity {
                       [this, b = std::move(batch)] { return apply(b); });
   }
 
-  /// Force a compaction (flatten overlay, full oracle rebuild) now.
+  /// Force a compaction (flatten overlay, full oracle rebuild) now. Same
+  /// strong exception guarantee as apply().
   UpdateReport compact() {
     const std::lock_guard<std::mutex> lock(write_mu_);
     const amem::Phase measure;
-    compact_locked();
-    UpdateReport report{epoch() + 1, UpdateReport::Path::kCompaction};
-    publish(report);
+    const UpdateReport report{epoch() + 1, UpdateReport::Path::kCompaction};
+    Staged next = stage_compaction(working_);
+    if (failure_hook_) failure_hook_(report.path);
     amem::accumulate_phase("dynamic/compaction", measure.delta());
+    publish_and_commit(std::move(next), report);
     return report;
   }
 
+  /// Test-only failure injection: invoked (under the writer lock) after the
+  /// new epoch has been fully staged — rebuild paths: scratch state built;
+  /// fast path: in-place inserts applied under the undo log — but before
+  /// anything is published or committed. A throwing hook stands in for an
+  /// allocation or generator failure anywhere in the update pipeline —
+  /// apply()/compact() propagate it and must leave the structure at the
+  /// previous epoch.
+  void set_failure_injection_hook(
+      std::function<void(UpdateReport::Path)> hook) {
+    const std::lock_guard<std::mutex> lock(write_mu_);
+    failure_hook_ = std::move(hook);
+  }
+
  private:
+  /// A fully built next epoch, not yet visible to anyone. Everything a
+  /// commit swaps in travels together so the swap can be all-or-nothing.
+  struct Staged {
+    std::shared_ptr<const graph::Graph> base;
+    OverlayGraph working;
+    std::shared_ptr<const VersionedOracle> state;
+    LabelPatch patch;
+  };
+
   /// Strong exception safety for deletions: verify the whole batch against
-  /// the working overlay (with per-edge multiplicities) before mutating.
+  /// the working overlay (with per-edge multiplicities) before staging.
   void check_deletions_exist(const graph::EdgeList& deletions) const {
     std::unordered_map<std::uint64_t, std::size_t> want;
     for (const graph::Edge& e : deletions) ++want[edge_key(e.u, e.v)];
@@ -215,25 +277,52 @@ class DynamicConnectivity {
     }
   }
 
-  /// Insert fast path: merge endpoint component labels in the patch. The
-  /// oracle keeps reading its frozen (pre-insertion) graph; the patch
-  /// carries exactly the connectivity the new edges add.
-  void patch_insertions(const graph::EdgeList& insertions) {
+  /// Insert fast path, O(B): merge endpoint component labels in a copy of
+  /// the pending patch (the oracle keeps reading its frozen pre-insertion
+  /// graph; the patch carries exactly the connectivity the new edges add),
+  /// then mutate working_ in place under a nothrow undo log. Any throw —
+  /// mid-insert bad_alloc, the failure hook, phase accounting, snapshot
+  /// allocation, or the ring push — unwinds the log and leaves the
+  /// previous epoch intact; the commits after publish are all noexcept.
+  void apply_fast_insert(const graph::EdgeList& insertions,
+                         const UpdateReport& report,
+                         const amem::Phase& measure) {
+    LabelPatch patch = patch_;
     const auto& oracle = state_->oracle;
     const auto is_center = [&](graph::vertex_id l) {
       return oracle.decomposition().is_center(l);
     };
     for (const graph::Edge& e : insertions) {
       if (e.u == e.v) continue;
-      patch_.unite(patch_.find(oracle.component_of(e.u)),
-                   patch_.find(oracle.component_of(e.v)), is_center);
+      patch.unite(patch.find(oracle.component_of(e.u)),
+                  patch.find(oracle.component_of(e.v)), is_center);
     }
+    OverlayGraph::UndoLog undo;
+    try {
+      for (const graph::Edge& e : insertions) {
+        working_.insert_edge_logged(e.u, e.v, undo);
+      }
+      if (failure_hook_) failure_hook_(UpdateReport::Path::kFastInsert);
+      amem::accumulate_phase("dynamic/insert_fastpath", measure.delta());
+      store_.publish(
+          std::make_shared<Snapshot>(report.epoch, state_, patch));
+    } catch (...) {
+      working_.undo_inserts(undo);
+      working_.sweep_empty_patches(insertions);
+      throw;
+    }
+    working_.sweep_empty_patches(insertions);
+    patch_ = std::move(patch);
+    epoch_.store(report.epoch, std::memory_order_release);
   }
 
   /// Selective rebuild: reuse the center set, relabel only dirty
   /// components. See the header comment for the soundness argument
-  /// (mirrored in DirtyTracker).
-  void rebuild_selective(const UpdateBatch& batch, UpdateReport& report) {
+  /// (mirrored in DirtyTracker). Reads the old state_/patch_ and the staged
+  /// overlay; mutates neither member.
+  Staged stage_selective_rebuild(OverlayGraph&& staged,
+                                 const UpdateBatch& batch,
+                                 UpdateReport& report) const {
     const auto& old = state_->oracle;
     const auto& old_decomp = old.decomposition();
 
@@ -266,8 +355,8 @@ class DynamicConnectivity {
       note_endpoint(e.v);
     }
 
-    // 2. Freeze the mutated overlay and re-install the center set over it.
-    auto frozen = std::make_shared<const OverlayGraph>(working_);
+    // 2. Freeze the staged overlay and re-install the center set over it.
+    auto frozen = std::make_shared<const OverlayGraph>(staged);
     auto decomp2 = decomp::ImplicitDecomposition<OverlayGraph>::build_reusing(
         *frozen,
         decomp::DecompOptions{opt_.oracle.k, opt_.oracle.seed,
@@ -316,39 +405,53 @@ class DynamicConnectivity {
                                                   cc2.label.raw().end());
     cc2.num_components = distinct.size();
 
-    state_ = std::make_shared<VersionedOracle>(
+    auto state = std::make_shared<VersionedOracle>(
         frozen,
         connectivity::ConnectivityOracle<OverlayGraph>::from_parts(
             std::move(decomp2), std::move(cc2)));
-    patch_.clear();
     report.dirty_clusters = dirty.num_clusters();
     report.dirty_labels = dirty.num_labels();
     report.relabeled_centers = relabeled;
+    return Staged{base_, std::move(staged), std::move(state), LabelPatch{}};
   }
 
-  /// Flatten the overlay into a fresh CSR base and rebuild from scratch.
-  void compact_locked() {
-    const std::size_t n = num_vertices();
-    base_ = std::make_shared<const graph::Graph>(
-        graph::Graph::from_edges(n, working_.edge_list()));
-    working_ = OverlayGraph(base_);
-    install_full_build(std::make_shared<const OverlayGraph>(working_));
+  /// Flatten the staged overlay into a fresh CSR base and rebuild from
+  /// scratch (the staged overlay's deltas are absorbed into the new base,
+  /// so the new working overlay starts empty).
+  Staged stage_compaction(const OverlayGraph& staged) const {
+    return stage_full_build(std::make_shared<const graph::Graph>(
+        graph::Graph::from_edges(num_vertices(), staged.edge_list())));
   }
 
-  void install_full_build(std::shared_ptr<const OverlayGraph> frozen) {
+  Staged stage_full_build(std::shared_ptr<const graph::Graph> base) const {
+    OverlayGraph working(base);
+    auto frozen = std::make_shared<const OverlayGraph>(working);
     auto oracle = connectivity::ConnectivityOracle<OverlayGraph>::build(
         *frozen, opt_.oracle);
-    state_ =
-        std::make_shared<VersionedOracle>(std::move(frozen), std::move(oracle));
-    patch_.clear();
+    auto state = std::make_shared<VersionedOracle>(std::move(frozen),
+                                                   std::move(oracle));
+    return Staged{std::move(base), std::move(working), std::move(state),
+                  LabelPatch{}};
   }
 
-  /// Copies the pending patch into the immutable snapshot: O(B + |patch|)
+  /// Publish the staged epoch's snapshot, then swap the staged members in.
+  /// The snapshot construction and ring push may throw (bad_alloc); every
+  /// member mutation below them is a noexcept move, so a throw anywhere in
+  /// this function — or anywhere before it — leaves the previous epoch
+  /// fully intact. Copying the patch into the snapshot is O(B + |patch|)
   /// per publish, with |patch| bounded by compact_threshold / 2 (one entry
   /// per merged insertion since the last rebuild) — the same knob that
   /// already bounds the frozen-overlay copies.
-  void publish(const UpdateReport& report) {
-    store_.publish(std::make_shared<Snapshot>(report.epoch, state_, patch_));
+  void publish_and_commit(Staged&& next, const UpdateReport& report) {
+    static_assert(std::is_nothrow_move_assignable_v<OverlayGraph> &&
+                      std::is_nothrow_move_assignable_v<LabelPatch>,
+                  "commit must not be able to throw halfway through");
+    store_.publish(
+        std::make_shared<Snapshot>(report.epoch, next.state, next.patch));
+    base_ = std::move(next.base);
+    working_ = std::move(next.working);
+    state_ = std::move(next.state);
+    patch_ = std::move(next.patch);
     epoch_.store(report.epoch, std::memory_order_release);
   }
 
@@ -361,6 +464,7 @@ class DynamicConnectivity {
   LabelPatch patch_;      // pending merges relative to state_'s labels
   std::shared_ptr<const VersionedOracle> state_;
   SnapshotStore store_;
+  std::function<void(UpdateReport::Path)> failure_hook_;  // test-only
 };
 
 }  // namespace wecc::dynamic

@@ -13,6 +13,8 @@
 //  * SnapshotStore — a bounded ring of the most recent snapshots.
 #pragma once
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -143,8 +145,11 @@ class SnapshotStore {
   explicit SnapshotStore(std::size_t capacity)
       : capacity_(capacity == 0 ? 1 : capacity) {}
 
+  /// Epochs must be published in increasing order (at_epoch binary-searches
+  /// the ring on that invariant; the single serialized writer guarantees it).
   void publish(std::shared_ptr<const Snapshot> snap) {
     const std::lock_guard<std::mutex> lock(mu_);
+    assert(ring_.empty() || snap->epoch() > ring_.back()->epoch());
     ring_.push_back(std::move(snap));
     while (ring_.size() > capacity_) ring_.pop_front();
   }
@@ -156,13 +161,19 @@ class SnapshotStore {
   }
 
   /// Snapshot at an exact epoch, or null if never published / evicted.
+  /// Publishes are monotone (the writer increments the epoch under its
+  /// lock), so the ring is sorted by epoch and this is a binary search:
+  /// O(log capacity) instead of a linear scan.
   [[nodiscard]] std::shared_ptr<const Snapshot> at_epoch(
       std::uint64_t epoch) const {
     const std::lock_guard<std::mutex> lock(mu_);
-    for (const auto& s : ring_) {
-      if (s->epoch() == epoch) return s;
-    }
-    return nullptr;
+    const auto it = std::lower_bound(
+        ring_.begin(), ring_.end(), epoch,
+        [](const std::shared_ptr<const Snapshot>& s, std::uint64_t e) {
+          return s->epoch() < e;
+        });
+    if (it == ring_.end() || (*it)->epoch() != epoch) return nullptr;
+    return *it;
   }
 
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }

@@ -34,6 +34,33 @@ void apply_to_model(EdgeSetModel& model, const UpdateBatch& b) {
   for (const Edge& e : b.insertions) model.add(e);
 }
 
+/// Everything the strong exception guarantee promises to leave untouched.
+struct DcState {
+  std::uint64_t epoch = 0;
+  std::size_t store_size = 0;
+  std::vector<vertex_id> labels;
+  EdgeList edges;
+};
+
+DcState capture_state(const DynamicConnectivity& dc) {
+  DcState s;
+  s.epoch = dc.epoch();
+  s.store_size = dc.store().size();
+  const auto snap = dc.snapshot();
+  for (vertex_id v = 0; v < dc.num_vertices(); ++v) {
+    s.labels.push_back(snap->component_of(v));
+  }
+  s.edges = testutil::canonical_edges(dc.current_edge_list());
+  return s;
+}
+
+void expect_state_eq(const DcState& got, const DcState& want) {
+  EXPECT_EQ(got.epoch, want.epoch);
+  EXPECT_EQ(got.store_size, want.store_size);
+  EXPECT_EQ(got.labels, want.labels);
+  EXPECT_EQ(got.edges, want.edges);
+}
+
 void expect_matches_model(const DynamicConnectivity& dc,
                           const EdgeSetModel& model) {
   const Graph g = model.materialize();
@@ -101,6 +128,73 @@ TEST(OverlayGraph, NeighborEnumerationAndEdgeList) {
   const auto truth = testutil::brute_cc(flat);
   EXPECT_EQ(truth[1], truth[4]);
   EXPECT_NE(truth[0], truth[1]);
+}
+
+TEST(OverlayGraph, SelfLoopInsertDeleteRoundTrip) {
+  auto base = std::make_shared<const Graph>(
+      Graph::from_edges(3, {{0, 1}, {1, 1}}));
+  OverlayGraph og(base);
+  EXPECT_EQ(og.multiplicity(1, 1), 1u);
+
+  og.insert_edge(2, 2);
+  EXPECT_EQ(og.multiplicity(2, 2), 1u);
+  EXPECT_EQ(og.delta_size(), 1u);  // self-loops are single arcs
+  EXPECT_TRUE(og.delete_edge(2, 2));
+  EXPECT_EQ(og.multiplicity(2, 2), 0u);
+  EXPECT_EQ(og.delta_size(), 0u);
+
+  // Base self-loop: delete records a one-arc patch, reinsert un-deletes.
+  EXPECT_TRUE(og.delete_edge(1, 1));
+  EXPECT_EQ(og.multiplicity(1, 1), 0u);
+  EXPECT_EQ(og.delta_size(), 1u);
+  std::vector<vertex_id> nbrs1;
+  og.for_neighbors(1, [&](vertex_id w) { nbrs1.push_back(w); });
+  EXPECT_EQ(nbrs1, std::vector<vertex_id>{0});
+  og.insert_edge(1, 1);
+  EXPECT_EQ(og.multiplicity(1, 1), 1u);
+  EXPECT_EQ(og.delta_size(), 0u);
+}
+
+TEST(OverlayGraph, DeleteHeavyEnumerationMatchesMaterialized) {
+  // Parallel edges, self-loops, and randomized deletes/inserts: enumeration
+  // through the sorted two-pointer merge must agree arc-for-arc (as a
+  // multiset) with the materialized graph at every step.
+  const std::size_t n = 10;
+  const graph::EdgeList base_edges = {{0, 1}, {0, 1}, {1, 2}, {2, 2}, {2, 3},
+                                      {3, 4}, {0, 4}, {1, 4}, {4, 4}, {1, 3},
+                                      {5, 6}, {6, 7}, {7, 5}, {8, 9}, {8, 9}};
+  auto base = std::make_shared<const Graph>(Graph::from_edges(n, base_edges));
+  OverlayGraph og(base);
+  EdgeSetModel model(n, base_edges);
+
+  const auto check = [&] {
+    const Graph flat = model.materialize();
+    for (vertex_id v = 0; v < n; ++v) {
+      std::vector<vertex_id> got, want;
+      og.for_neighbors(v, [&](vertex_id w) { got.push_back(w); });
+      flat.for_neighbors(v, [&](vertex_id w) { want.push_back(w); });
+      std::sort(got.begin(), got.end());
+      ASSERT_EQ(got, want) << "vertex " << v;
+    }
+  };
+
+  std::uint64_t rs = 7;
+  auto next = [&rs](std::uint64_t mod) {
+    rs = parallel::mix64(rs + 0x9e3779b97f4a7c15ull);
+    return rs % mod;
+  };
+  check();
+  for (int step = 0; step < 200; ++step) {
+    const auto u = vertex_id(next(n)), v = vertex_id(next(n));
+    if (next(2) == 0 && og.multiplicity(u, v) > 0) {
+      ASSERT_TRUE(og.delete_edge(u, v));
+      model.remove({u, v});
+    } else {
+      og.insert_edge(u, v);
+      model.add({u, v});
+    }
+    check();
+  }
 }
 
 TEST(Dynamic, InsertFastPathMergesComponents) {
@@ -219,9 +313,14 @@ TEST(Dynamic, SnapshotStoreRingEviction) {
   for (int i = 0; i < 5; ++i) dc.insert_edges({{0, 7}});
   EXPECT_EQ(dc.store().size(), 3u);
   EXPECT_EQ(dc.store().epochs(), (std::vector<std::uint64_t>{3, 4, 5}));
+  // at_epoch binary-searches the monotone ring: misses below, inside, and
+  // above the retained window all return null; hits return the snapshot.
   EXPECT_EQ(dc.store().at_epoch(1), nullptr);
-  ASSERT_NE(dc.store().at_epoch(4), nullptr);
-  EXPECT_EQ(dc.store().at_epoch(4)->epoch(), 4u);
+  EXPECT_EQ(dc.store().at_epoch(99), nullptr);
+  for (std::uint64_t e = 3; e <= 5; ++e) {
+    ASSERT_NE(dc.store().at_epoch(e), nullptr) << e;
+    EXPECT_EQ(dc.store().at_epoch(e)->epoch(), e);
+  }
 }
 
 TEST(Dynamic, CompactionThresholdTriggersFullRebuild) {
@@ -261,6 +360,114 @@ TEST(Dynamic, ExplicitCompactEquivalent) {
   const UpdateReport r = dc.compact();
   EXPECT_EQ(r.path, UpdateReport::Path::kCompaction);
   expect_matches_model(dc, model);
+}
+
+TEST(Dynamic, ApplyStrongExceptionGuaranteeAllPaths) {
+  // A hook that throws after the new epoch is staged (standing in for a
+  // bad_alloc or generator failure anywhere mid-rebuild) must leave epoch,
+  // labels, edge list, pending patch, and snapshot ring untouched — for
+  // every update path, and for compact().
+  const Graph g = graph::gen::cycle(24);
+  EdgeSetModel model(24, g.edge_list());
+  DynamicOptions opt;
+  opt.oracle.k = 3;
+  opt.compact_threshold = 10;
+  DynamicConnectivity dc(g, opt);
+  dc.insert_edges({{0, 12}});  // pending fast-path patch state to protect
+  apply_to_model(model, UpdateBatch::inserting({{0, 12}}));
+
+  std::vector<UpdateReport::Path> attempted;
+  dc.set_failure_injection_hook([&](UpdateReport::Path p) {
+    attempted.push_back(p);
+    throw std::bad_alloc();
+  });
+
+  const UpdateBatch fast = UpdateBatch::inserting({{1, 13}});
+  const UpdateBatch selective = UpdateBatch::deleting({{3, 4}});
+  const UpdateBatch compacting =
+      UpdateBatch::inserting({{2, 14}, {5, 17}, {6, 18}, {7, 19}});
+
+  const DcState before = capture_state(dc);
+  EXPECT_THROW(dc.apply(fast), std::bad_alloc);
+  expect_state_eq(capture_state(dc), before);
+  EXPECT_THROW(dc.apply(selective), std::bad_alloc);
+  expect_state_eq(capture_state(dc), before);
+  EXPECT_THROW(dc.apply(compacting), std::bad_alloc);
+  expect_state_eq(capture_state(dc), before);
+  EXPECT_THROW(dc.compact(), std::bad_alloc);
+  expect_state_eq(capture_state(dc), before);
+  ASSERT_EQ(attempted, (std::vector<UpdateReport::Path>{
+                           UpdateReport::Path::kFastInsert,
+                           UpdateReport::Path::kSelectiveRebuild,
+                           UpdateReport::Path::kCompaction,
+                           UpdateReport::Path::kCompaction}));
+
+  // The structure is not poisoned: with the hook cleared, the very same
+  // batches apply cleanly and agree with brute force.
+  dc.set_failure_injection_hook(nullptr);
+  dc.apply(fast);
+  apply_to_model(model, fast);
+  expect_matches_model(dc, model);
+  dc.apply(selective);
+  apply_to_model(model, selective);
+  expect_matches_model(dc, model);
+
+  // Fast-path insert that *un-deletes* (3, 4) from the live deletion
+  // patch: rolling it back exercises undo_inserts' re-delete branch.
+  dc.set_failure_injection_hook([&](UpdateReport::Path p) {
+    attempted.push_back(p);
+    throw std::bad_alloc();
+  });
+  const UpdateBatch undelete = UpdateBatch::inserting({{3, 4}});
+  const DcState mid = capture_state(dc);
+  EXPECT_THROW(dc.apply(undelete), std::bad_alloc);
+  expect_state_eq(capture_state(dc), mid);
+  EXPECT_EQ(attempted.back(), UpdateReport::Path::kFastInsert);
+  dc.set_failure_injection_hook(nullptr);
+  dc.apply(undelete);
+  apply_to_model(model, undelete);
+  expect_matches_model(dc, model);
+
+  dc.apply(compacting);
+  apply_to_model(model, compacting);
+  expect_matches_model(dc, model);
+  EXPECT_EQ(dc.epoch(), 5u);
+}
+
+TEST(Dynamic, SelfLoopRoundTripsAllThreePaths) {
+  const Graph g = Graph::from_edges(6, {{0, 1}, {1, 2}, {3, 3}});
+  EdgeSetModel model(6, g.edge_list());
+  DynamicOptions opt;
+  opt.oracle.k = 2;
+  opt.compact_threshold = 4;
+  DynamicConnectivity dc(g, opt);
+
+  // Fast path: insertion-only batch with self-loops.
+  UpdateBatch ins = UpdateBatch::inserting({{4, 4}, {2, 2}});
+  EXPECT_EQ(dc.apply(ins).path, UpdateReport::Path::kFastInsert);
+  apply_to_model(model, ins);
+  expect_matches_model(dc, model);
+
+  // Selective rebuild: delete one overlay-inserted and one base self-loop.
+  UpdateBatch del = UpdateBatch::deleting({{4, 4}, {3, 3}});
+  EXPECT_EQ(dc.apply(del).path, UpdateReport::Path::kSelectiveRebuild);
+  apply_to_model(model, del);
+  expect_matches_model(dc, model);
+
+  // Compaction: self-loops must survive the flatten + full rebuild.
+  UpdateBatch big = UpdateBatch::inserting({{5, 5}, {0, 0}, {1, 1}});
+  EXPECT_EQ(dc.apply(big).path, UpdateReport::Path::kCompaction);
+  apply_to_model(model, big);
+  expect_matches_model(dc, model);
+  EXPECT_EQ(dc.overlay_delta_size(), 0u);
+
+  // And the flattened self-loops still delete cleanly.
+  UpdateBatch del2 = UpdateBatch::deleting({{0, 0}, {2, 2}});
+  EXPECT_EQ(dc.apply(del2).path, UpdateReport::Path::kSelectiveRebuild);
+  apply_to_model(model, del2);
+  expect_matches_model(dc, model);
+  EXPECT_EQ(testutil::canonical_edges(dc.current_edge_list()),
+            testutil::canonical_edges(model.materialize().edge_list()));
 }
 
 TEST(Dynamic, RejectsMalformedBatches) {

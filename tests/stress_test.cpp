@@ -189,6 +189,80 @@ TEST(Stress, DynamicBatchesAgainstFromScratchOracleRebuild) {
   }
 }
 
+TEST(Stress, ApplyExceptionGuaranteeUnderRandomizedLoad) {
+  // Randomized mixed batches with a small compaction threshold (so all
+  // three update paths fire). Before each real apply, the same batch is
+  // attempted with a throwing failure hook installed: the structure must
+  // come out identical (epoch, labels, edge list), then accept the batch
+  // and still agree with a from-scratch oracle.
+  const std::size_t n = 600;
+  const graph::Graph g0 = graph::gen::random_regular_ish(n, 3, 5);
+  dynamic::DynamicOptions opt;
+  opt.oracle.k = 6;
+  opt.compact_threshold = 96;
+  dynamic::DynamicConnectivity dc(g0, opt);
+  testutil::EdgeSetModel model(n, g0.edge_list());
+
+  const auto labels_of = [&] {
+    std::vector<vertex_id> out;
+    const auto snap = dc.snapshot();
+    for (vertex_id v = 0; v < n; ++v) out.push_back(snap->component_of(v));
+    return out;
+  };
+
+  std::uint64_t rs = 2026;
+  auto next = [&rs](std::uint64_t mod) {
+    rs = parallel::mix64(rs + 0x9e3779b97f4a7c15ull);
+    return rs % mod;
+  };
+  std::size_t compactions = 0;
+  for (int round = 0; round < 30; ++round) {
+    dynamic::UpdateBatch batch;
+    for (int i = 0; i < 6 && !model.edges().empty(); ++i) {
+      auto it = model.edges().begin();
+      std::advance(it, std::ptrdiff_t(next(model.edges().size())));
+      const graph::Edge e{it->first.first, it->first.second};
+      batch.deletions.push_back(e);
+      model.remove(e);
+    }
+    for (int i = 0; i < 6; ++i) {
+      const graph::Edge e{vertex_id(next(n)), vertex_id(next(n))};
+      batch.insertions.push_back(e);
+      model.add(e);
+    }
+
+    const auto epoch_before = dc.epoch();
+    const auto labels_before = labels_of();
+    const auto edges_before = testutil::canonical_edges(dc.current_edge_list());
+    dc.set_failure_injection_hook(
+        [](dynamic::UpdateReport::Path) { throw std::bad_alloc(); });
+    EXPECT_THROW(dc.apply(batch), std::bad_alloc);
+    dc.set_failure_injection_hook(nullptr);
+    ASSERT_EQ(dc.epoch(), epoch_before) << "round " << round;
+    ASSERT_EQ(labels_of(), labels_before) << "round " << round;
+    ASSERT_EQ(testutil::canonical_edges(dc.current_edge_list()), edges_before)
+        << "round " << round;
+
+    const auto report = dc.apply(batch);
+    if (report.path == dynamic::UpdateReport::Path::kCompaction) {
+      ++compactions;
+    }
+    const graph::Graph now = model.materialize();
+    connectivity::CcOracleOptions sopt;
+    sopt.k = 6;
+    const auto fresh =
+        connectivity::ConnectivityOracle<graph::Graph>::build(now, sopt);
+    const auto snap = dc.snapshot();
+    for (vertex_id i = 0; i < 1200; ++i) {
+      const auto u = vertex_id((i * 2654435761u) % n);
+      const auto v = vertex_id((i * 40503u + round) % n);
+      ASSERT_EQ(snap->connected(u, v), fresh.connected(u, v))
+          << "round " << round << " pair " << u << "," << v;
+    }
+  }
+  EXPECT_GE(compactions, 1u);  // the threshold is small enough to hit
+}
+
 TEST(Stress, WeCcOnDenseMultigraph) {
   // Heavy parallel-edge load (ER with replacement at 10x density).
   const Graph g = graph::gen::erdos_renyi(200, 40000, 3);

@@ -49,6 +49,19 @@ bool same_partition(const A& a, const B& b, std::size_t n) {
   return true;
 }
 
+/// Canonical (min,max) orientation plus lexicographic sort — makes two
+/// edge lists comparable as multisets with operator==.
+inline graph::EdgeList canonical_edges(graph::EdgeList edges) {
+  for (graph::Edge& e : edges) {
+    if (e.u > e.v) std::swap(e.u, e.v);
+  }
+  std::sort(edges.begin(), edges.end(),
+            [](const graph::Edge& a, const graph::Edge& b) {
+              return std::make_pair(a.u, a.v) < std::make_pair(b.u, b.v);
+            });
+  return edges;
+}
+
 /// Reference model for dynamic-graph tests: the current edge multiset,
 /// materializable into a Graph for brute-force comparison. remove() throws
 /// if the edge is absent (the test then fails with the exception).
