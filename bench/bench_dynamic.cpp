@@ -46,6 +46,13 @@ namespace benchalloc {
 inline std::atomic<std::uint64_t> count{0};
 }  // namespace benchalloc
 
+// The replaced operator new allocates with std::malloc, so releasing with
+// std::free is the matched pair; gcc's -Wmismatched-new-delete heuristic
+// cannot see through the replacement and flags it under Release -Werror.
+#if defined(__GNUC__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
 void* operator new(std::size_t size) {
   benchalloc::count.fetch_add(1, std::memory_order_relaxed);
   if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
@@ -53,6 +60,9 @@ void* operator new(std::size_t size) {
 }
 void operator delete(void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+#if defined(__GNUC__)
+#pragma GCC diagnostic pop
+#endif
 
 namespace {
 
@@ -332,7 +342,8 @@ void BM_OverlayNeighborEnumeration(benchmark::State& state) {
   state.counters["n"] = double(n);
   state.SetItemsProcessed(std::int64_t(arcs));
   if (allocs != 0) {
-    state.SkipWithError("overlay neighbor enumeration allocated on the hot path");
+    state.SkipWithError(
+        "overlay neighbor enumeration allocated on the hot path");
   }
 }
 BENCHMARK(BM_OverlayNeighborEnumeration)

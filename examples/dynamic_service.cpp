@@ -4,13 +4,17 @@
 // (bond flips arrive in batches) while a reader keeps answering
 // connectivity queries against a pinned epoch — the update never blocks
 // or perturbs it. Prints per-epoch update paths and the phase counters
-// that show updates staying write-efficient.
+// that show updates staying write-efficient. A second act runs the same
+// churn through DynamicBiconnectivity and answers a *mixed* query vector
+// (connectivity + biconnectivity + articulation/bridge probes) against a
+// pinned biconn epoch.
 //
 // Build: cmake --build build --target example_dynamic_service
 #include <cstdio>
 #include <vector>
 
 #include "dynamic/batch_query.hpp"
+#include "dynamic/dynamic_biconnectivity.hpp"
 #include "dynamic/dynamic_connectivity.hpp"
 #include "graph/generators.hpp"
 #include "parallel/rng.hpp"
@@ -100,6 +104,50 @@ int main() {
   std::printf("current epoch %llu: %zu of %zu query pairs connected\n",
               static_cast<unsigned long long>(dc.epoch()), connected_now,
               queries.size());
+
+  // ---- Act 2: the same service shape for the full biconnectivity
+  // surface. Bond churn streams through DynamicBiconnectivity; a mixed
+  // query vector runs against a pinned epoch on the thread pool.
+  dynamic::DynamicBiconnOptions bopt;
+  bopt.oracle.k = 8;
+  dynamic::DynamicBiconnectivity dbc(g, bopt);
+  graph::EdgeList binserted;
+  for (int round = 0; round < 8; ++round) {
+    dynamic::UpdateBatch batch;
+    for (int i = 0; i < 48; ++i) {
+      rs = parallel::mix64(rs + 13);
+      const auto v = vertex_id(rs % (n - kSide - 1));
+      batch.insertions.push_back(
+          {v, (rs & 1) ? vertex_id(v + 1) : vertex_id(v + kSide)});
+    }
+    if (round % 2 == 1) {
+      for (int i = 0; i < 24 && !binserted.empty(); ++i) {
+        batch.deletions.push_back(binserted.back());
+        binserted.pop_back();
+      }
+    }
+    const dynamic::BiconnUpdateReport r = dbc.apply(batch);
+    for (const auto& e : batch.insertions) binserted.push_back(e);
+    std::printf(
+        "biconn epoch %2llu: %-11s (+%zu/-%zu edges, absorbed=%zu, "
+        "patched bridges=%zu, dirty components=%zu)\n",
+        static_cast<unsigned long long>(r.epoch), path_name(r.path),
+        batch.insertions.size(), batch.deletions.size(), r.absorbed_edges,
+        r.patched_bridges, r.dirty_components);
+  }
+
+  std::vector<dynamic::MixedQuery> mixed;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    mixed.push_back({dynamic::MixedQuery::Kind(i % 5), queries[i].u,
+                     queries[i].v});
+  }
+  const dynamic::BiconnBatchQueryEngine bengine(dbc.snapshot());
+  const auto mixed_answers = bengine.answer(mixed);
+  std::size_t yes = 0;
+  for (const auto a : mixed_answers) yes += a;
+  std::printf(
+      "biconn epoch %llu: %zu of %zu mixed probes answered true\n",
+      static_cast<unsigned long long>(dbc.epoch()), yes, mixed.size());
 
   std::printf("update-phase counters (reads/writes to asymmetric memory):\n");
   for (const auto& [name, stats] : amem::phase_totals()) {

@@ -1,4 +1,4 @@
-// Swendsen–Wang cluster dynamics for the 2D Ising model — the implicit-graph
+// Swendsen–Wang cluster dynamics for the 2D Ising model — the implicit
 // workload the paper's introduction motivates [44]: each Monte-Carlo sweep
 // needs the connected components of a *sampled* bond graph, and the lattice
 // itself never changes, so an algorithm that re-reads the lattice but writes

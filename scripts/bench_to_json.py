@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Distill google-benchmark JSON output into the repo's BENCH_*.json shape.
+
+Usage: bench_to_json.py <google-benchmark-out.json> <BENCH_target.json>
+
+Each benchmark row becomes one record with the fields the perf trajectory
+tracks per commit: benchmark name, n, batch size, ns/op, speedup vs a
+from-scratch rebuild, counted writes per batch, and whether the row
+self-verified against the from-scratch oracle. Counters a row does not
+report are emitted as null, so downstream tooling can distinguish "not
+measured" from zero.
+"""
+
+import json
+import sys
+
+TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def distill(raw):
+    rows = []
+    for b in raw.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        unit = TIME_UNIT_NS[b.get("time_unit", "ns")]
+        rows.append(
+            {
+                "benchmark": b["name"],
+                "n": b.get("n"),
+                "batch_size": b.get("B"),
+                "ns_per_op": b["real_time"] * unit,
+                "speedup_vs_rebuild": b.get("speedup_vs_rebuild"),
+                "writes_per_batch": b.get("writes_per_batch"),
+                "verified": b.get("verified"),
+                "error": b.get("error_message"),
+            }
+        )
+    return rows
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    with open(sys.argv[1]) as f:
+        raw = json.load(f)
+    rows = distill(raw)
+    with open(sys.argv[2], "w") as f:
+        json.dump(rows, f, indent=2)
+        f.write("\n")
+    failures = [r["benchmark"] for r in rows if r["error"]]
+    if failures:
+        sys.exit(f"benchmark rows errored: {', '.join(failures)}")
+    print(f"{sys.argv[2]}: {len(rows)} rows")
+
+
+if __name__ == "__main__":
+    main()

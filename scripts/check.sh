@@ -2,24 +2,45 @@
 # Tier-1 verify plus benchmark smoke: configure, build, run the full test
 # suite, then exercise the query and dynamic benchmarks in smoke mode
 # (small graphs / trimmed repetitions) so a broken bench build or a
-# correctness regression in the hot paths fails CI, not just the unit tests.
+# correctness regression in the hot paths fails CI, not just the unit
+# tests. The dynamic bench smokes emit machine-readable BENCH_dynamic.json
+# / BENCH_dynamic_biconn.json (benchmark name, n, batch size, ns/op,
+# speedup-vs-rebuild, verified) at the repo root, which CI uploads as
+# per-commit perf-trajectory artifacts.
 #
 # Usage: scripts/check.sh [build-dir]   (default: build)
 # Env:   CXX/CC respected by cmake as usual; WECC_THREADS caps the pool;
 #        WECC_SANITIZE=address,undefined (etc.) instruments the whole build
-#        with the given sanitizers (what the CI asan job sets).
+#        with the given sanitizers (what the CI asan job sets);
+#        WECC_BUILD_TYPE overrides the CMake build type (default
+#        RelWithDebInfo; the CI -Werror legs set Release);
+#        WECC_WERROR=ON turns warnings into errors across every target;
+#        WECC_BENCH_SMOKE_FILTER overrides the dynamic-bench row filter
+#        (the asan job narrows it — sanitized full-rebuild baselines are
+#        slow). ccache is picked up automatically when installed.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
+BENCH_FILTER="${WECC_BENCH_SMOKE_FILTER:-/100000(/|\$)}"
 
-CMAKE_ARGS=(-DCMAKE_BUILD_TYPE=RelWithDebInfo)
+CMAKE_ARGS=(-DCMAKE_BUILD_TYPE="${WECC_BUILD_TYPE:-RelWithDebInfo}")
 if [[ -n "${WECC_SANITIZE:-}" ]]; then
   CMAKE_ARGS+=("-DWECC_SANITIZE=${WECC_SANITIZE}")
+fi
+if [[ -n "${WECC_WERROR:-}" ]]; then
+  CMAKE_ARGS+=("-DWECC_WERROR=${WECC_WERROR}")
+fi
+if command -v ccache > /dev/null; then
+  CMAKE_ARGS+=(-DCMAKE_C_COMPILER_LAUNCHER=ccache
+               -DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
 fi
 
 cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
+if command -v ccache > /dev/null; then
+  ccache -s | sed -n '1,5p' || true
+fi
 
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
@@ -27,8 +48,20 @@ echo "== bench smoke: queries =="
 "$BUILD_DIR/bench/bench_queries" \
   --benchmark_min_time=0.05 --benchmark_filter='BM_Query_(CcLabelArray|CcOracle/16)$'
 
-echo "== bench smoke: dynamic (100k rows; 1M rows run in full mode) =="
+echo "== bench smoke: dynamic connectivity (larger rows run in full mode) =="
 "$BUILD_DIR/bench/bench_dynamic" \
-  --benchmark_filter='/100000(/|$)'
+  --benchmark_filter="$BENCH_FILTER" \
+  --benchmark_out="$BUILD_DIR/bench_dynamic_raw.json" \
+  --benchmark_out_format=json
+python3 scripts/bench_to_json.py "$BUILD_DIR/bench_dynamic_raw.json" \
+  BENCH_dynamic.json
+
+echo "== bench smoke: dynamic biconnectivity (self-verified vs rebuild) =="
+"$BUILD_DIR/bench/bench_dynamic_biconn" \
+  --benchmark_filter="$BENCH_FILTER" \
+  --benchmark_out="$BUILD_DIR/bench_dynamic_biconn_raw.json" \
+  --benchmark_out_format=json
+python3 scripts/bench_to_json.py "$BUILD_DIR/bench_dynamic_biconn_raw.json" \
+  BENCH_dynamic_biconn.json
 
 echo "check.sh: all green"

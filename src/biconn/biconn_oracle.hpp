@@ -39,6 +39,7 @@
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "biconn/bc_labeling.hpp"
 #include "decomp/clusters_graph.hpp"
@@ -76,6 +77,38 @@ class BiconnectivityOracle {
  public:
   static BiconnectivityOracle build(const G& g,
                                     const BiconnOracleOptions& opt);
+
+  /// Reuse hook 1 (batch-dynamic layer): run the full construction over an
+  /// externally prepared decomposition instead of re-running Algorithm 1.
+  /// The graph the decomposition references must outlive the oracle.
+  static BiconnectivityOracle from_decomposition(
+      decomp::ImplicitDecomposition<G> d, const BiconnOracleOptions& opt);
+
+  /// Reuse hook 2 (batch-dynamic selective rebuild): re-install `old`'s
+  /// center set over the mutated graph `g` (ImplicitDecomposition::
+  /// build_reusing — all centers re-installed primary) and re-run the BC
+  /// labeling pipeline only on the clusters whose *old* connected component
+  /// (old.component_of label) is in `dirty_components`; every other
+  /// cluster's forest slot, cluster-level labels, fixpoint DSU entries and
+  /// per-edge bits are copied from `old`.
+  ///
+  /// Soundness contract (the caller — DynamicBiconnectivity — enforces it):
+  ///  * `dirty_components` covers every component an edge changed in since
+  ///    `old`'s graph was frozen, so a clean component's subgraph in `g` is
+  ///    bit-identical to its subgraph in old's graph;
+  ///  * `old` was itself built over an all-primary reused decomposition
+  ///    (from_decomposition after export/reinstall, or a previous
+  ///    build_reusing), so rho() in clean components — a deterministic
+  ///    function of (subgraph, center set, primary flags) — is unchanged
+  ///    and the copied per-cluster state matches the query-time local
+  ///    views recomputed from `g`.
+  /// Cost: O(n/k) writes for the copies + forest/LCA rebuild, graph
+  /// traversal only inside dirty components (O(|dirty| k^2) expected per
+  /// dirty cluster), vs O(nk) operations for a from-scratch build.
+  static BiconnectivityOracle build_reusing(
+      const G& g, const BiconnOracleOptions& opt,
+      const BiconnectivityOracle& old,
+      const std::unordered_set<graph::vertex_id>& dirty_components);
 
   [[nodiscard]] const decomp::ImplicitDecomposition<G>& decomposition()
       const noexcept {
@@ -152,11 +185,24 @@ class BiconnectivityOracle {
 
   explicit BiconnectivityOracle(Decomp d) : decomp_(std::move(d)) {}
 
+  /// Selective-rebuild context threaded through the construction stages:
+  /// `dirty[ci]` says cluster ci's old component changed; clean clusters
+  /// copy their state from `old` instead of touching the graph. Null
+  /// context (the full-build path) means every cluster is dirty.
+  struct ReuseContext {
+    const BiconnectivityOracle* old = nullptr;
+    std::vector<std::uint8_t> dirty;
+  };
+  [[nodiscard]] bool is_dirty(const ReuseContext* rc, std::size_t ci) const {
+    return rc == nullptr || rc->dirty[ci] != 0;
+  }
+
   // ---- construction stages (defined in biconn_oracle_impl.hpp) ----
-  void build_clusters_forest();
-  void build_cluster_labeling(bool parallel);
-  void run_fixpoints(std::size_t max_rounds, bool parallel);
-  void finalize_bits(bool parallel);
+  void build_clusters_forest(const ReuseContext* rc);
+  void build_cluster_labeling(bool parallel, const ReuseContext* rc);
+  void run_fixpoints(std::size_t max_rounds, bool parallel,
+                     const ReuseContext* rc);
+  void finalize_bits(bool parallel, const ReuseContext* rc);
 
   /// Run fn(ci) over clusters, parallel or sequential.
   template <typename F>
@@ -248,16 +294,21 @@ class BiconnectivityOracle {
   std::vector<vid> croot_;          // cluster root vertex (global)
   std::vector<std::uint32_t> children_off_;
   std::vector<vid> children_;
-  primitives::TreeArrays ctree_;
-  primitives::BlockedLca clca_;
+  primitives::BlockedLca clca_;  // also owns the forest's TreeArrays
   std::vector<vid> ccomp_;          // forest root per cluster (component)
 
-  // Cluster-level BC labeling of the clusters multigraph.
+  /// The clusters-forest arrays (parent/depth/Euler numbers) — owned by
+  /// clca_ so only one copy travels with each oracle version.
+  [[nodiscard]] const primitives::TreeArrays& ctree() const noexcept {
+    return clca_.tree();
+  }
+
+  // Cluster-level BC labeling of the clusters multigraph. l' doubles as
+  // the category-2 label source for *both* fixpoint relations: its labels
+  // name cluster-level blocks, the only certificate that lifts to a
+  // vertex- (hence edge-) disjoint external path (see local_view).
   std::vector<std::uint8_t> ccritical_;  // parent edge critical
-  std::vector<std::uint8_t> cdup_parent_;  // parent cluster edge is doubled
   std::vector<std::uint32_t> lprime_;    // labels after removing critical
-  std::vector<std::uint8_t> cbridge_lvl_;  // cluster-level bridge bit
-  std::vector<std::uint32_t> l2prime_;   // labels after removing cl bridges
 
   // Fixpoint DSUs over clusters-tree edges (element = non-root cluster).
   std::vector<std::uint32_t> dsu_bc_;    // biconnectivity equivalence

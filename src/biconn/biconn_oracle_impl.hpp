@@ -16,27 +16,78 @@ BiconnectivityOracle<G> BiconnectivityOracle<G>::build(
   decomp::DecompOptions dopt;
   dopt.k = opt.k;
   dopt.seed = opt.seed;
-  BiconnectivityOracle o(Decomp::build(g, dopt));
+  return from_decomposition(Decomp::build(g, dopt), opt);
+}
+
+template <graph::GraphView G>
+BiconnectivityOracle<G> BiconnectivityOracle<G>::from_decomposition(
+    decomp::ImplicitDecomposition<G> d, const BiconnOracleOptions& opt) {
+  BiconnectivityOracle o(std::move(d));
   o.nc_ = o.decomp_.center_list().size();
-  o.build_clusters_forest();
-  o.build_cluster_labeling(opt.parallel);
-  o.run_fixpoints(opt.max_fixpoint_rounds, opt.parallel);
-  o.finalize_bits(opt.parallel);
+  o.build_clusters_forest(nullptr);
+  o.build_cluster_labeling(opt.parallel, nullptr);
+  o.run_fixpoints(opt.max_fixpoint_rounds, opt.parallel, nullptr);
+  o.finalize_bits(opt.parallel, nullptr);
   return o;
 }
 
 template <graph::GraphView G>
-void BiconnectivityOracle<G>::build_clusters_forest() {
+BiconnectivityOracle<G> BiconnectivityOracle<G>::build_reusing(
+    const G& g, const BiconnOracleOptions& opt,
+    const BiconnectivityOracle& old,
+    const std::unordered_set<graph::vertex_id>& dirty_components) {
+  decomp::DecompOptions dopt;
+  dopt.k = opt.k;
+  dopt.seed = opt.seed;
+  BiconnectivityOracle o(
+      Decomp::build_reusing(g, dopt, old.decomp_.export_centers()));
+  o.nc_ = o.decomp_.center_list().size();
+  // Re-installing the exported seeds reproduces the center list verbatim,
+  // so cluster indices align between old and new — the property every copy
+  // below rides on.
+  assert(o.nc_ == old.nc_);
+  ReuseContext rc;
+  rc.old = &old;
+  rc.dirty.assign(o.nc_, 0);
+  const auto& centers = old.decomp_.center_list();
+  for (std::size_t ci = 0; ci < o.nc_; ++ci) {
+    // A cluster's old component label is its forest root's center vertex —
+    // exactly what old.component_of reported to the caller.
+    rc.dirty[ci] =
+        dirty_components.count(centers[old.ccomp_[ci]]) != 0 ? 1 : 0;
+  }
+  o.build_clusters_forest(&rc);
+  o.build_cluster_labeling(opt.parallel, &rc);
+  o.run_fixpoints(opt.max_fixpoint_rounds, opt.parallel, &rc);
+  o.finalize_bits(opt.parallel, &rc);
+  return o;
+}
+
+template <graph::GraphView G>
+void BiconnectivityOracle<G>::build_clusters_forest(const ReuseContext* rc) {
   // Deterministic BFS over the implicit clusters graph, recording the
   // chosen tree-edge instance per cluster: croot_ (endpoint inside the
   // cluster — "the head vertex of a cluster is chosen as the cluster root")
   // and attach_ (endpoint inside the parent). O(n/k) writes, O(nk) reads.
+  // Under a ReuseContext clean clusters keep their old forest slots (their
+  // component's subgraph is unchanged, so the old provenance edges still
+  // exist) and the BFS only runs inside dirty components.
   const decomp::ClustersGraph<G> cg(decomp_);
   cparent_.assign(nc_, kNo);
   attach_.assign(nc_, kNo);
   croot_.assign(nc_, kNo);
   ccomp_.assign(nc_, kNo);
   amem::count_write(nc_);  // the forest arrays below are the O(n/k) state
+  if (rc != nullptr) {
+    for (std::size_t ci = 0; ci < nc_; ++ci) {
+      if (rc->dirty[ci]) continue;
+      cparent_[ci] = rc->old->cparent_[ci];
+      attach_[ci] = rc->old->attach_[ci];
+      croot_[ci] = rc->old->croot_[ci];
+      ccomp_[ci] = rc->old->ccomp_[ci];
+      amem::count_write(4);
+    }
+  }
 
   std::vector<vid> frontier, next;
   for (std::size_t r = 0; r < nc_; ++r) {
@@ -49,6 +100,10 @@ void BiconnectivityOracle<G>::build_clusters_forest() {
       for (const vid ci : frontier) {
         cg.for_boundary_edges(ci, [&](vid cj, vid u, vid w) {
           if (cparent_[cj] != kNo) return;
+          // Dirty components only merge with dirty components (edges only
+          // changed inside the dirty set), so the restricted BFS never
+          // steps into a cluster whose slot was copied above.
+          assert(is_dirty(rc, cj));
           cparent_[cj] = ci;
           attach_[cj] = u;   // in parent cluster ci
           croot_[cj] = w;    // in child cluster cj — its cluster root
@@ -79,18 +134,26 @@ void BiconnectivityOracle<G>::build_clusters_forest() {
   }
   amem::count_write(nc_);
 
-  ctree_ = primitives::build_tree_arrays(cparent_);
-  clca_ = primitives::BlockedLca(ctree_);
+  clca_ = primitives::BlockedLca(primitives::build_tree_arrays(cparent_));
 }
 
 template <graph::GraphView G>
-void BiconnectivityOracle<G>::build_cluster_labeling(bool parallel) {
+void BiconnectivityOracle<G>::build_cluster_labeling(bool parallel,
+                                                     const ReuseContext* rc) {
   // BC labeling of the implicit clusters multigraph against the provenance
   // forest. The only non-obvious bit is instance-aware tree-edge skipping:
   // a boundary edge (u, w) from ci to cj is *the* tree instance iff its
   // endpoints equal the recorded (attach, croot) pair — and only the first
   // such match per enumeration is skipped (exact duplicates are parallel
   // edges and count as non-tree).
+  //
+  // Under a ReuseContext, the graph-traversal passes (boundary-edge
+  // enumeration here and the cc_minus BFS below) run only over dirty
+  // clusters; clean clusters copy ccritical_ and their (canonical,
+  // min-cluster-index valued) l' labels from the old oracle. The Euler
+  // numbers behind low/high are renumbered globally, but they are only
+  // consulted for dirty clusters, whose wlo/whi were computed fresh in the
+  // new numbering.
   const decomp::ClustersGraph<G> cg(decomp_);
 
   const auto is_tree_instance = [&](vid ci, vid cj, vid u, vid w) {
@@ -98,18 +161,19 @@ void BiconnectivityOracle<G>::build_cluster_labeling(bool parallel) {
            (cparent_[ci] == cj && u == croot_[ci] && w == attach_[ci]);
   };
 
-  // w'/W' per cluster, plus parent-edge multiplicities (for the bridge
-  // rule's "only edge connecting" requirement).
+  // w'/W' per cluster.
   std::vector<std::uint32_t> wlo(nc_), whi(nc_);
-  cdup_parent_.assign(nc_, 0);
   over_clusters(parallel, [&](std::size_t ci) {
-    std::uint32_t mn = ctree_.first[ci], mx = ctree_.first[ci];
+    if (!is_dirty(rc, ci)) {
+      // Neutral leaffix seed; the result is never read for clean clusters.
+      wlo[ci] = whi[ci] = ctree().first[ci];
+      return;
+    }
+    std::uint32_t mn = ctree().first[ci], mx = ctree().first[ci];
     bool skipped_parent = false;
     std::vector<std::uint8_t> skipped_child(children_off_[ci + 1] -
                                             children_off_[ci]);
-    std::size_t parent_edges = 0;
     cg.for_boundary_edges(vid(ci), [&](vid cj, vid u, vid w) {
-      if (cj == cparent_[ci]) ++parent_edges;
       if (is_tree_instance(vid(ci), cj, u, w)) {
         if (cparent_[cj] == vid(ci)) {
           const std::uint32_t slot = child_slot(vid(ci), cj);
@@ -122,27 +186,30 @@ void BiconnectivityOracle<G>::build_cluster_labeling(bool parallel) {
           return;
         }
       }
-      mn = std::min(mn, ctree_.first[cj]);
-      mx = std::max(mx, ctree_.first[cj]);
+      mn = std::min(mn, ctree().first[cj]);
+      mx = std::max(mx, ctree().first[cj]);
     });
-    if (cparent_[ci] != vid(ci) && parent_edges >= 2) cdup_parent_[ci] = 1;
     wlo[ci] = mn;
     whi[ci] = mx;
     amem::count_write(2);
   });
 
   const auto low = primitives::leaffix<std::uint32_t>(
-      ctree_, [&](vid c) { return wlo[c]; },
+      ctree(), [&](vid c) { return wlo[c]; },
       [](std::uint32_t a, std::uint32_t b) { return std::min(a, b); });
   const auto high = primitives::leaffix<std::uint32_t>(
-      ctree_, [&](vid c) { return whi[c]; },
+      ctree(), [&](vid c) { return whi[c]; },
       [](std::uint32_t a, std::uint32_t b) { return std::max(a, b); });
 
   ccritical_.assign(nc_, 0);
   for (std::size_t c = 0; c < nc_; ++c) {
+    if (!is_dirty(rc, c)) {
+      ccritical_[c] = rc->old->ccritical_[c];
+      continue;
+    }
     const vid p = cparent_[c];
     if (p == vid(c)) continue;
-    if (ctree_.first[p] <= low[c] && high[c] <= ctree_.last[p]) {
+    if (ctree().first[p] <= low[c] && high[c] <= ctree().last[p]) {
       ccritical_[c] = 1;
       amem::count_write();
     }
@@ -151,15 +218,24 @@ void BiconnectivityOracle<G>::build_cluster_labeling(bool parallel) {
   // Connectivity over the clusters graph minus removed tree edges *and
   // their parallel duplicates* (footnote-3 rule: every instance between the
   // two clusters is excluded, else the duplicate reconnects the component
-  // the removal is meant to split), then the same minus cluster-level
-  // bridges (for the 2ecc seed relation).
-  const auto cc_minus = [&](const std::vector<std::uint8_t>& removed) {
+  // the removal is meant to split). Labels are canonical — the
+  // minimum cluster index of the component (BFS roots ascend) — so they are
+  // stable across selective rebuilds: a clean cluster's copied label can
+  // never collide with a freshly assigned dirty one (label components never
+  // straddle the clean/dirty partition, which is a union of connectivity
+  // components).
+  const auto cc_minus = [&](const std::vector<std::uint8_t>& removed,
+                            const std::vector<std::uint32_t>* old_labels) {
     std::vector<std::uint32_t> label(nc_, kNone);
+    if (rc != nullptr) {
+      for (std::size_t ci = 0; ci < nc_; ++ci) {
+        if (!rc->dirty[ci]) label[ci] = (*old_labels)[ci];
+      }
+    }
     std::vector<vid> frontier, next;
-    std::uint32_t comps = 0;
     for (std::size_t r = 0; r < nc_; ++r) {
       if (label[r] != kNone) continue;
-      const std::uint32_t id = comps++;
+      const std::uint32_t id = std::uint32_t(r);
       label[r] = id;
       amem::count_write();
       frontier.assign(1, vid(r));
@@ -184,27 +260,25 @@ void BiconnectivityOracle<G>::build_cluster_labeling(bool parallel) {
     return label;
   };
 
-  lprime_ = cc_minus(ccritical_);
-  // Component sizes of l' comps -> cluster-level bridges (singleton rule).
-  std::vector<std::uint32_t> size(nc_, 0);
-  for (std::size_t c = 0; c < nc_; ++c) size[lprime_[c]]++;
-  cbridge_lvl_.assign(nc_, 0);
-  for (std::size_t c = 0; c < nc_; ++c) {
-    if (cparent_[c] != vid(c) && ccritical_[c] && size[lprime_[c]] == 1 &&
-        !cdup_parent_[c]) {
-      cbridge_lvl_[c] = 1;
-      amem::count_write();
-    }
-  }
-  l2prime_ = cc_minus(cbridge_lvl_);
+  lprime_ = cc_minus(ccritical_, rc ? &rc->old->lprime_ : nullptr);
 }
 
 template <graph::GraphView G>
 void BiconnectivityOracle<G>::run_fixpoints(std::size_t max_rounds,
-                                            bool parallel) {
+                                            bool parallel,
+                                            const ReuseContext* rc) {
+  // Under a ReuseContext, clean clusters keep their converged DSU entries
+  // (cluster indices are stable, and a DSU chain never leaves its
+  // component, so clean chains never route through a reset dirty entry);
+  // only dirty clusters re-derive their equivalences, and the sweeps visit
+  // dirty clusters only — re-sweeping a clean cluster could only re-derive
+  // unions its component already holds.
   dsu_bc_.resize(nc_);
   dsu_te_.resize(nc_);
-  for (std::size_t i = 0; i < nc_; ++i) dsu_bc_[i] = std::uint32_t(i);
+  for (std::size_t i = 0; i < nc_; ++i) {
+    dsu_bc_[i] =
+        is_dirty(rc, i) ? std::uint32_t(i) : rc->old->dsu_bc_[i];
+  }
   amem::count_write(nc_);
 
   const auto unite = [&](std::vector<std::uint32_t>& p, std::uint32_t a,
@@ -226,6 +300,7 @@ void BiconnectivityOracle<G>::run_fixpoints(std::size_t max_rounds,
     std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>>
         pairs(nc_);
     over_clusters(parallel, [&](std::size_t ci) {
+      if (!is_dirty(rc, ci)) return;
       const LocalView lv = local_view(ci, tecc, /*extra_lprime=*/true);
       // (element, group key): key = local block of the edge instance, or
       // tecc class of the outside node for the 2ecc relation (guarded by
@@ -269,7 +344,8 @@ void BiconnectivityOracle<G>::run_fixpoints(std::size_t max_rounds,
   }
   // Seed the 2ecc relation from the (finer) biconnectivity one.
   for (std::size_t i = 0; i < nc_; ++i) {
-    dsu_te_[i] = dsu_find(dsu_bc_, std::uint32_t(i));
+    dsu_te_[i] = is_dirty(rc, i) ? dsu_find(dsu_bc_, std::uint32_t(i))
+                                 : rc->old->dsu_te_[i];
   }
   amem::count_write(nc_);
   rounds_te_ = 1;
@@ -282,14 +358,35 @@ void BiconnectivityOracle<G>::run_fixpoints(std::size_t max_rounds,
 }
 
 template <graph::GraphView G>
-void BiconnectivityOracle<G>::finalize_bits(bool parallel) {
+void BiconnectivityOracle<G>::finalize_bits(bool parallel,
+                                            const ReuseContext* rc) {
   up_ok_.assign(nc_, 1);
   bridge_up_ok_.assign(nc_, 1);
   gbridge_.assign(nc_, 0);
   rb_.assign(nc_, 1);
   internal_off_.assign(nc_ + 1, 0);
+  if (rc != nullptr) {
+    // Clean clusters' bits are set by their (clean) parent's pass in the
+    // old build; dirty clusters that turned into forest roots keep the
+    // defaults above, and dirty non-roots are overwritten below (a dirty
+    // child's parent is dirty, so every one of them is visited).
+    for (std::size_t d = 0; d < nc_; ++d) {
+      if (rc->dirty[d]) continue;
+      up_ok_[d] = rc->old->up_ok_[d];
+      bridge_up_ok_[d] = rc->old->bridge_up_ok_[d];
+      gbridge_[d] = rc->old->gbridge_[d];
+      rb_[d] = rc->old->rb_[d];
+      amem::count_write(4);
+    }
+  }
 
   over_clusters(parallel, [&](std::size_t ci) {
+    if (!is_dirty(rc, ci)) {
+      // Per-cluster internal-block count, recovered from the old prefix.
+      internal_off_[ci + 1] =
+          rc->old->internal_off_[ci + 1] - rc->old->internal_off_[ci];
+      return;
+    }
     const LocalView lvb = local_view(ci, false, false);
     const LocalView lvt = local_view(ci, true, false);
     const bool has_parent = cparent_[ci] != vid(ci);
@@ -321,10 +418,10 @@ void BiconnectivityOracle<G>::finalize_bits(bool parallel) {
 
   // Prefix bad counts over the clusters forest (rootfix).
   const auto pb = primitives::rootfix<std::uint32_t>(
-      ctree_, [](vid) { return 0u; },
+      ctree(), [](vid) { return 0u; },
       [&](std::uint32_t acc, vid d) { return acc + (up_ok_[d] ? 0 : 1); });
   const auto pbb = primitives::rootfix<std::uint32_t>(
-      ctree_, [](vid) { return 0u; },
+      ctree(), [](vid) { return 0u; },
       [&](std::uint32_t acc, vid d) {
         return acc + (bridge_up_ok_[d] ? 0 : 1);
       });

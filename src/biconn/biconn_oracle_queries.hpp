@@ -98,7 +98,7 @@ bool BiconnectivityOracle<G>::biconnected(graph::vertex_id u,
       return {false, kNo};
     }
     const vid child_of_l =
-        clca_.ancestor_at_depth(vid(cend), ctree_.depth[L] + 1);
+        clca_.ancestor_at_depth(vid(cend), ctree().depth[L] + 1);
     amem::count_read(2);
     if (pref_bad_[cend] - pref_bad_[child_of_l] != 0) return {false, kNo};
     return {true, child_of_l};
@@ -159,7 +159,7 @@ bool BiconnectivityOracle<G>::two_edge_connected(graph::vertex_id u,
       return {false, kNo};
     }
     const vid child_of_l =
-        clca_.ancestor_at_depth(vid(cend), ctree_.depth[L] + 1);
+        clca_.ancestor_at_depth(vid(cend), ctree().depth[L] + 1);
     amem::count_read(2);
     if (pref_bbad_[cend] - pref_bbad_[child_of_l] != 0) return {false, kNo};
     return {true, child_of_l};

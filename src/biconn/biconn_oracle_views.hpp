@@ -8,9 +8,9 @@ template <graph::GraphView G>
 std::uint32_t BiconnectivityOracle<G>::direction_of(std::size_t from,
                                                     std::size_t to) const {
   amem::count_read(2);
-  if (ctree_.is_ancestor(vid(from), vid(to))) {
+  if (ctree().is_ancestor(vid(from), vid(to))) {
     // The child of `from` whose subtree holds `to`.
-    const vid d = clca_.ancestor_at_depth(vid(to), ctree_.depth[from] + 1);
+    const vid d = clca_.ancestor_at_depth(vid(to), ctree().depth[from] + 1);
     return child_slot(vid(from), d);
   }
   return kNone;  // parent direction
@@ -110,21 +110,25 @@ BiconnectivityOracle<G>::local_view(std::size_t ci, bool use_tecc_equiv,
   // (during fixpoint rounds) equal cluster-level labels.
   {
     const auto& dsu = use_tecc_equiv ? dsu_te_ : dsu_bc_;
-    const auto& lp = use_tecc_equiv ? l2prime_ : lprime_;
     struct Dir {
       std::uint32_t node;
       std::uint32_t elem;   // clusters-tree edge element (cluster index)
       std::uint32_t label;  // cluster-level label (kNone: joins nothing)
     };
-    // Label semantics: for biconnectivity, l'(elem) is by BC-labeling
-    // construction the cluster-level block of that tree *edge*. For
-    // 2-edge-connectivity, l2' labels *clusters*, so a tree edge only
-    // inherits its endpoint's label if it is not itself a cluster-level
-    // bridge (a bridge lies on no cycle and must never join a group).
-    const auto label_of = [&](std::uint32_t elem) {
-      if (use_tecc_equiv && cbridge_lvl_[elem]) return kNone;
-      return lp[elem];
-    };
+    // Label semantics (both relations): l'(elem) is by BC-labeling
+    // construction the cluster-level *block* of that tree edge. Equal
+    // blocks mean a simple cycle of the clusters multigraph passes through
+    // both tree edges; a simple cycle visits this cluster exactly once
+    // (degree 2, via the two tree edges), so it certifies an *external*
+    // vertex-disjoint — hence also edge-disjoint — path between the two
+    // directions. That makes the rule sound for 2-edge-connectivity too.
+    // (A mere bridge-free connectivity label is NOT sound here: the
+    // connecting cluster-path may route back through this cluster, e.g.
+    // parallel cluster edges sharing an attach vertex, and lift to a walk
+    // that reuses an intra-cluster bridge. The per-cluster Hopcroft–Tarjan
+    // already sees such parallel instances as local edges, so they need no
+    // category-2 chord.)
+    const auto label_of = [&](std::uint32_t elem) { return lprime_[elem]; };
     std::vector<Dir> dirs;
     if (has_parent) {
       dirs.push_back({lv.parent_node, std::uint32_t(ci),

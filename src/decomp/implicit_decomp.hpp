@@ -146,7 +146,8 @@ class ImplicitDecomposition {
   }
 
  private:
-  ImplicitDecomposition(const G& g, std::size_t k) : g_(&g), k_(k), set_(g.num_vertices()) {}
+  ImplicitDecomposition(const G& g, std::size_t k)
+      : g_(&g), k_(k), set_(g.num_vertices()) {}
 
   /// Lexicographic BFS from v until `stop(u)` returns true for a discovered
   /// vertex (checked in discovery order) or the component is exhausted or

@@ -1,11 +1,14 @@
 // BatchQueryEngine: answer vectors of connectivity queries in parallel
-// against one pinned snapshot.
+// against one pinned snapshot. BiconnBatchQueryEngine: the same discipline
+// for a pinned biconnectivity snapshot, over *mixed* query vectors
+// (connectivity + biconnectivity + articulation/bridge probes).
 //
-// Oracle queries are read-only (rho runs in per-call symmetric scratch, the
-// center set and label array are written only at build), so a blocked
-// parallel_for over the query vector is race-free. Each query stays at the
-// static oracle's O(k) expected reads; the engine adds no writes beyond the
-// output vector (one per query).
+// Oracle queries are read-only (rho and the local views run in per-call
+// symmetric scratch, the center set and label array are written only at
+// build), so a blocked parallel_for over the query vector is race-free.
+// Each query stays at the static oracle's cost — O(k) expected reads for
+// connectivity, O(k^2) expected operations for biconnectivity — and the
+// engines add no writes beyond the output vector (one per query).
 #pragma once
 
 #include <cstdint>
@@ -13,6 +16,7 @@
 #include <span>
 #include <vector>
 
+#include "dynamic/biconn_snapshot.hpp"
 #include "dynamic/snapshot_store.hpp"
 #include "parallel/parallel_for.hpp"
 
@@ -20,6 +24,38 @@ namespace wecc::dynamic {
 
 /// One (u, v) connectivity query.
 struct VertexPair {
+  graph::vertex_id u = 0;
+  graph::vertex_id v = 0;
+};
+
+namespace detail {
+/// The engines' shared discipline: map fn over [0, count) on the thread
+/// pool, one counted write per produced answer.
+template <typename T, typename F>
+std::vector<T> parallel_map(std::size_t count, std::size_t grain, F&& fn) {
+  std::vector<T> out(count);
+  parallel::parallel_for(
+      0, count,
+      [&](std::size_t i) {
+        out[i] = fn(i);
+        amem::count_write();
+      },
+      grain);
+  return out;
+}
+}  // namespace detail
+
+/// One probe of a mixed biconnectivity batch: what to ask and of whom.
+/// `v` is ignored by kArticulation.
+struct MixedQuery {
+  enum class Kind : std::uint8_t {
+    kConnected,
+    kBiconnected,
+    kTwoEdgeConnected,
+    kArticulation,
+    kBridge,
+  };
+  Kind kind = Kind::kConnected;
   graph::vertex_id u = 0;
   graph::vertex_id v = 0;
 };
@@ -37,34 +73,74 @@ class BatchQueryEngine {
   /// costs O(k) expected operations.
   [[nodiscard]] std::vector<std::uint8_t> connected(
       std::span<const VertexPair> queries, std::size_t grain = 64) const {
-    std::vector<std::uint8_t> out(queries.size());
-    parallel::parallel_for(
-        0, queries.size(),
-        [&](std::size_t i) {
-          out[i] = snap_->connected(queries[i].u, queries[i].v) ? 1 : 0;
-          amem::count_write();
-        },
-        grain);
-    return out;
+    return detail::parallel_map<std::uint8_t>(
+        queries.size(), grain, [&](std::size_t i) {
+          return snap_->connected(queries[i].u, queries[i].v) ? 1 : 0;
+        });
   }
 
   /// component_of(v) per vertex.
   [[nodiscard]] std::vector<graph::vertex_id> components(
       std::span<const graph::vertex_id> vertices,
       std::size_t grain = 64) const {
-    std::vector<graph::vertex_id> out(vertices.size());
-    parallel::parallel_for(
-        0, vertices.size(),
-        [&](std::size_t i) {
-          out[i] = snap_->component_of(vertices[i]);
-          amem::count_write();
-        },
-        grain);
-    return out;
+    return detail::parallel_map<graph::vertex_id>(
+        vertices.size(), grain,
+        [&](std::size_t i) { return snap_->component_of(vertices[i]); });
   }
 
  private:
   std::shared_ptr<const Snapshot> snap_;
+};
+
+/// Mixed-surface batch queries against one pinned biconnectivity epoch.
+class BiconnBatchQueryEngine {
+ public:
+  /// Pins `snap` for the engine's lifetime: answers stay consistent with
+  /// that epoch no matter how many batches are published meanwhile.
+  explicit BiconnBatchQueryEngine(std::shared_ptr<const BiconnSnapshot> snap)
+      : snap_(std::move(snap)) {}
+
+  [[nodiscard]] const BiconnSnapshot& snapshot() const noexcept {
+    return *snap_;
+  }
+
+  /// Answer a mixed query vector in parallel; out[i] is query i's boolean.
+  /// Grain defaults lower than the connectivity engine's because each
+  /// biconnectivity probe already costs O(k^2) expected operations.
+  [[nodiscard]] std::vector<std::uint8_t> answer(
+      std::span<const MixedQuery> queries, std::size_t grain = 16) const {
+    return detail::parallel_map<std::uint8_t>(
+        queries.size(), grain,
+        [&](std::size_t i) { return answer_one(queries[i]) ? 1 : 0; });
+  }
+
+  /// component_of(v) per vertex (patched labels).
+  [[nodiscard]] std::vector<graph::vertex_id> components(
+      std::span<const graph::vertex_id> vertices,
+      std::size_t grain = 64) const {
+    return detail::parallel_map<graph::vertex_id>(
+        vertices.size(), grain,
+        [&](std::size_t i) { return snap_->component_of(vertices[i]); });
+  }
+
+ private:
+  [[nodiscard]] bool answer_one(const MixedQuery& q) const {
+    switch (q.kind) {
+      case MixedQuery::Kind::kConnected:
+        return snap_->connected(q.u, q.v);
+      case MixedQuery::Kind::kBiconnected:
+        return snap_->biconnected(q.u, q.v);
+      case MixedQuery::Kind::kTwoEdgeConnected:
+        return snap_->two_edge_connected(q.u, q.v);
+      case MixedQuery::Kind::kArticulation:
+        return snap_->is_articulation(q.u);
+      case MixedQuery::Kind::kBridge:
+        return snap_->is_bridge(q.u, q.v);
+    }
+    return false;
+  }
+
+  std::shared_ptr<const BiconnSnapshot> snap_;
 };
 
 }  // namespace wecc::dynamic

@@ -1,0 +1,172 @@
+// Epoch-versioned snapshots of the dynamic *biconnectivity* structure.
+//
+//  * BiconnPatch — the O(B)-write absorption state of the insertion fast
+//    path. Connectivity merges reuse LabelPatch; on top of it the patch
+//    records the inserted bridge edges (every fast-path cross-component
+//    insertion is by construction the only edge between its two merged
+//    components, hence a bridge) and the endpoints it promoted to
+//    articulation points. Insertions whose endpoints are already
+//    biconnected *and* 2-edge-connected in the frozen oracle change no
+//    biconnectivity answer at all and leave only a touched-component
+//    breadcrumb for the next selective rebuild.
+//  * VersionedBiconnOracle — one built §5.3 oracle bundled with the frozen
+//    overlay graph it reads.
+//  * BiconnSnapshot — an immutable query view (epoch, oracle version,
+//    patch) answering the full surface: connected / component_of /
+//    biconnected / two_edge_connected / is_articulation / is_bridge.
+//    (edge_bcc stays on the underlying oracle: patch-inserted edges are
+//    not visible to it until the next rebuild folds them in.)
+//  * BiconnSnapshotStore — the same bounded ring as connectivity uses.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+#include <utility>
+
+#include "biconn/biconn_oracle.hpp"
+#include "dynamic/snapshot_store.hpp"
+
+namespace wecc::dynamic {
+
+/// Patch state carried between biconnectivity rebuilds. All sets are
+/// O(#absorbed edges); every mutation is O(1) counted writes.
+class BiconnPatch {
+ public:
+  /// Connectivity merges (canonical component labels).
+  LabelPatch conn;
+
+  /// Record the patched bridge edge (u, v).
+  void add_bridge(graph::vertex_id u, graph::vertex_id v) {
+    bridges_.insert(edge_key(u, v));
+    amem::count_write();
+  }
+  [[nodiscard]] bool is_patched_bridge(graph::vertex_id u,
+                                       graph::vertex_id v) const {
+    amem::count_read();
+    return bridges_.count(edge_key(u, v)) != 0;
+  }
+  [[nodiscard]] std::size_t num_bridges() const noexcept {
+    return bridges_.size();
+  }
+
+  /// Promote v to an articulation point (additive — a patched bridge can
+  /// only create articulation points, never clear one).
+  void add_articulation(graph::vertex_id v) {
+    artics_.insert(v);
+    amem::count_write();
+  }
+  [[nodiscard]] bool is_patched_articulation(graph::vertex_id v) const {
+    amem::count_read();
+    return artics_.count(v) != 0;
+  }
+
+  /// Remember that an absorbed edge touched the component with this old
+  /// label — the set the next selective rebuild must treat as dirty (even
+  /// answer-preserving edges can shift cluster membership once the overlay
+  /// becomes the frozen graph of the next oracle version).
+  void touch_component(graph::vertex_id label) {
+    touched_.insert(label);
+    amem::count_write();
+  }
+  [[nodiscard]] const std::unordered_set<graph::vertex_id>& touched()
+      const noexcept {
+    return touched_;
+  }
+
+ private:
+  std::unordered_set<std::uint64_t> bridges_;
+  std::unordered_set<graph::vertex_id> artics_;
+  std::unordered_set<graph::vertex_id> touched_;
+};
+
+/// One biconnectivity oracle version and the frozen graph it reads.
+struct VersionedBiconnOracle {
+  std::shared_ptr<const OverlayGraph> graph;
+  biconn::BiconnectivityOracle<OverlayGraph> oracle;
+
+  VersionedBiconnOracle(std::shared_ptr<const OverlayGraph> g,
+                        biconn::BiconnectivityOracle<OverlayGraph>&& o)
+      : graph(std::move(g)), oracle(std::move(o)) {}
+};
+
+/// Immutable point-in-time biconnectivity view. Queries cost the static
+/// oracle's O(k^2) expected operations plus O(|patch|) worst-case hops; no
+/// writes. Soundness of the patched answers rests on the fast-path
+/// absorption conditions (see DynamicBiconnectivity): a patched bridge is
+/// the *only* edge between its two merged components, so
+///  * cross-component pairs are biconnected iff they are the bridge's own
+///    endpoints, and never 2-edge-connected;
+///  * articulation answers are the frozen oracle's plus the promotions;
+///  * bridge answers are the frozen oracle's plus the patched bridge set.
+class BiconnSnapshot {
+ public:
+  BiconnSnapshot(std::uint64_t epoch,
+                 std::shared_ptr<const VersionedBiconnOracle> state,
+                 BiconnPatch patch)
+      : epoch_(epoch), state_(std::move(state)), patch_(std::move(patch)) {}
+
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+  [[nodiscard]] std::size_t num_vertices() const {
+    return state_->graph->num_vertices();
+  }
+
+  /// Canonical component label of v at this epoch.
+  [[nodiscard]] graph::vertex_id component_of(graph::vertex_id v) const {
+    return patch_.conn.find(state_->oracle.component_of(v));
+  }
+  [[nodiscard]] bool connected(graph::vertex_id u,
+                               graph::vertex_id v) const {
+    return component_of(u) == component_of(v);
+  }
+
+  /// Do u and v share a biconnected component at this epoch? The frozen
+  /// oracle already answers false for cross-component pairs, and patched
+  /// bridges only ever span different frozen components, so the two
+  /// sources compose by disjunction — no separate component gate (which
+  /// would double the rho() walks on this hot path).
+  [[nodiscard]] bool biconnected(graph::vertex_id u,
+                                 graph::vertex_id v) const {
+    return state_->oracle.biconnected(u, v) ||
+           patch_.is_patched_bridge(u, v);
+  }
+
+  /// Are u and v 2-edge-connected at this epoch? The patch can never add
+  /// 2-edge-connectivity (any patched path crosses a patched bridge), so
+  /// the frozen oracle's answer stands.
+  [[nodiscard]] bool two_edge_connected(graph::vertex_id u,
+                                        graph::vertex_id v) const {
+    return state_->oracle.two_edge_connected(u, v);
+  }
+
+  /// Is v an articulation point at this epoch?
+  [[nodiscard]] bool is_articulation(graph::vertex_id v) const {
+    return patch_.is_patched_articulation(v) ||
+           state_->oracle.is_articulation(v);
+  }
+
+  /// Is {u, v} a bridge at this epoch?
+  [[nodiscard]] bool is_bridge(graph::vertex_id u, graph::vertex_id v) const {
+    if (u == v) return false;
+    return patch_.is_patched_bridge(u, v) || state_->oracle.is_bridge(u, v);
+  }
+
+  [[nodiscard]] const biconn::BiconnectivityOracle<OverlayGraph>& oracle()
+      const noexcept {
+    return state_->oracle;
+  }
+  [[nodiscard]] const BiconnPatch& patch() const noexcept { return patch_; }
+  [[nodiscard]] const std::shared_ptr<const VersionedBiconnOracle>& state()
+      const noexcept {
+    return state_;
+  }
+
+ private:
+  std::uint64_t epoch_;
+  std::shared_ptr<const VersionedBiconnOracle> state_;
+  BiconnPatch patch_;
+};
+
+using BiconnSnapshotStore = SnapshotStoreT<BiconnSnapshot>;
+
+}  // namespace wecc::dynamic

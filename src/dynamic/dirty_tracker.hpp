@@ -30,6 +30,13 @@ class DirtyTracker {
   /// Mark an old component label (center-index valued) dirty.
   void mark_label(graph::vertex_id label) { labels_.insert(label); }
 
+  /// Mark a whole connected component dirty, identified by its canonical
+  /// vertex-id label (the component_of output space). This is the
+  /// granularity the biconnectivity selective rebuild works at: every
+  /// cluster of a dirty component is relabeled, every other cluster's
+  /// state is copied.
+  void mark_component(graph::vertex_id label) { components_.insert(label); }
+
   /// Record a batch endpoint's cluster (center index) for diagnostics.
   void mark_cluster(graph::vertex_id center_index) {
     clusters_.insert(center_index);
@@ -48,6 +55,13 @@ class DirtyTracker {
       const noexcept {
     return labels_;
   }
+  [[nodiscard]] const std::unordered_set<graph::vertex_id>& components()
+      const noexcept {
+    return components_;
+  }
+  [[nodiscard]] std::size_t num_components() const noexcept {
+    return components_.size();
+  }
   [[nodiscard]] std::size_t num_labels() const noexcept {
     return labels_.size();
   }
@@ -61,6 +75,7 @@ class DirtyTracker {
  private:
   std::unordered_set<graph::vertex_id> labels_;
   std::unordered_set<graph::vertex_id> clusters_;
+  std::unordered_set<graph::vertex_id> components_;
   std::size_t virtual_touches_ = 0;
 };
 

@@ -1,0 +1,455 @@
+// DynamicBiconnectivity: batch-dynamic biconnectivity over the §5.3
+// write-efficient oracle, with epoch-versioned snapshots — the facade that
+// mirrors DynamicConnectivity and completes the paper's query surface
+// (connected? plus biconnected? / 2-edge-connected? / articulation? /
+// bridge?) under batched edge churn.
+//
+// Update paths, cheapest first (phase counters under "dynamic_biconn/..."):
+//
+//  * Insert fast path — a batch of B insertions is *absorbed* in O(B)
+//    counted writes when every edge, processed in order against the
+//    staged patch, is either
+//      (a) intra-block: its endpoints are biconnected AND 2-edge-connected
+//          in the frozen oracle — adding an edge inside a 2-connected,
+//          2-edge-connected block changes no biconnectivity answer (no
+//          block boundary moves, no bridge appears or disappears, no
+//          articulation point changes), so only a touched-component
+//          breadcrumb is recorded; or
+//      (b) a component merge: its endpoints lie in different (patched)
+//          components — the new edge is then the *only* edge between the
+//          two merged components, i.e. a bridge whose endpoints become
+//          articulation points exactly when they had any other neighbor.
+//          The patch records the connectivity merge, the bridge, and the
+//          promotions.
+//    Any edge that fits neither case (a cycle through a patched bridge, a
+//    doubled bridge, an intra-component edge spanning blocks) would change
+//    structure the patch cannot express, so the whole batch falls through
+//    to the selective rebuild. Self-loops are biconnectivity-inert and
+//    absorbed unconditionally.
+//  * Selective rebuild — any batch with deletions or a non-absorbable
+//    insertion. Only the connected components an edge changed in since the
+//    last rebuild (batch endpoints + every patch-touched component,
+//    tracked via DirtyTracker) are relabeled: BiconnectivityOracle::
+//    build_reusing re-installs the center set (O(n/k) writes, no
+//    traversal) and re-runs the clusters forest, BC labeling, fixpoint
+//    and bit-finalization passes over dirty clusters only, copying every
+//    clean cluster's state from the previous version.
+//  * Compaction — when the overlay delta outgrows `compact_threshold`, the
+//    overlay is flattened and the oracle is rebuilt from scratch over a
+//    fresh normalized decomposition, restoring the static bounds.
+//
+// Decomposition normalization invariant: every oracle version this facade
+// publishes is built over an all-primary reused center set (Algorithm 1
+// runs, its centers are exported and re-installed primary). That makes
+// rho() — and therefore cluster membership, local views, and all copied
+// per-cluster state — a deterministic function of (subgraph, center set)
+// alone, which is what lets build_reusing copy clean components' state
+// across versions byte-for-byte.
+//
+// Exception safety and concurrency match DynamicConnectivity: apply() /
+// compact() give the strong guarantee (staged copies + noexcept commit on
+// the rebuild paths; nothrow undo log on the fast path), writers are
+// serialized, and readers pin immutable BiconnSnapshots that stay valid
+// while newer epochs publish.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <type_traits>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "dynamic/biconn_snapshot.hpp"
+#include "dynamic/dirty_tracker.hpp"
+#include "dynamic/update_batch.hpp"
+
+namespace wecc::dynamic {
+
+struct DynamicBiconnOptions {
+  biconn::BiconnOracleOptions oracle;
+  /// Snapshots retained by the store (older pinned ones stay valid).
+  std::size_t snapshot_capacity = 4;
+  /// Overlay delta (arcs added + deleted) that triggers compaction;
+  /// 0 = auto: max(32768, n / k).
+  std::size_t compact_threshold = 0;
+};
+
+/// What one apply() did — which path ran and how much it touched.
+struct BiconnUpdateReport {
+  using Path = UpdateReport::Path;
+  std::uint64_t epoch = 0;
+  Path path = Path::kFastInsert;
+  std::size_t absorbed_edges = 0;    // fast path: intra-block / self-loop
+  std::size_t patched_bridges = 0;   // fast path: component merges
+  std::size_t dirty_components = 0;  // selective rebuild only
+};
+
+class DynamicBiconnectivity {
+ public:
+  /// Builds the epoch-0 oracle over `base` (vertex set fixed thereafter).
+  explicit DynamicBiconnectivity(graph::Graph base,
+                                 DynamicBiconnOptions opt = {})
+      : opt_(opt),
+        base_(std::make_shared<const graph::Graph>(std::move(base))),
+        n_(base_->num_vertices()),
+        working_(base_),
+        store_(opt.snapshot_capacity) {
+    if (opt_.compact_threshold == 0) {
+      opt_.compact_threshold = std::max<std::size_t>(
+          32768,
+          base_->num_vertices() / std::max<std::size_t>(1, opt_.oracle.k));
+    }
+    const BiconnUpdateReport report{0, BiconnUpdateReport::Path::kInitialBuild,
+                                    0, 0, 0};
+    publish_and_commit(stage_full_build(base_), report);
+  }
+
+  [[nodiscard]] std::size_t num_vertices() const noexcept { return n_; }
+  /// Latest published epoch; wait-free (reader-safe during rebuilds).
+  [[nodiscard]] std::uint64_t epoch() const noexcept {
+    return epoch_.load(std::memory_order_acquire);
+  }
+  /// Writer-side diagnostic: takes the writer lock.
+  [[nodiscard]] std::size_t overlay_delta_size() const {
+    const std::lock_guard<std::mutex> lock(write_mu_);
+    return working_.delta_size();
+  }
+  [[nodiscard]] std::size_t compact_threshold() const noexcept {
+    return opt_.compact_threshold;
+  }
+
+  /// The latest immutable snapshot (pin it; it never changes under you).
+  [[nodiscard]] std::shared_ptr<const BiconnSnapshot> snapshot() const {
+    return store_.current();
+  }
+
+  /// The current logical edge set (base + all applied batches), canonical
+  /// orientation. After fast-path epochs it is ahead of the latest
+  /// snapshot's frozen oracle graph (the snapshot closes that gap with its
+  /// patch).
+  [[nodiscard]] graph::EdgeList current_edge_list() const {
+    const std::lock_guard<std::mutex> lock(write_mu_);
+    return working_.edge_list();
+  }
+  [[nodiscard]] const BiconnSnapshotStore& store() const noexcept {
+    return store_;
+  }
+
+  /// Convenience single queries against the current snapshot.
+  [[nodiscard]] bool connected(graph::vertex_id u, graph::vertex_id v) const {
+    return snapshot()->connected(u, v);
+  }
+  [[nodiscard]] graph::vertex_id component_of(graph::vertex_id v) const {
+    return snapshot()->component_of(v);
+  }
+  [[nodiscard]] bool biconnected(graph::vertex_id u,
+                                 graph::vertex_id v) const {
+    return snapshot()->biconnected(u, v);
+  }
+  [[nodiscard]] bool two_edge_connected(graph::vertex_id u,
+                                        graph::vertex_id v) const {
+    return snapshot()->two_edge_connected(u, v);
+  }
+  [[nodiscard]] bool is_articulation(graph::vertex_id v) const {
+    return snapshot()->is_articulation(v);
+  }
+  [[nodiscard]] bool is_bridge(graph::vertex_id u, graph::vertex_id v) const {
+    return snapshot()->is_bridge(u, v);
+  }
+
+  /// Apply one batch atomically and publish the next epoch, with the
+  /// strong exception guarantee (same contract and failure surface as
+  /// DynamicConnectivity::apply).
+  BiconnUpdateReport apply(const UpdateBatch& batch) {
+    const std::lock_guard<std::mutex> lock(write_mu_);
+    batch.validate(num_vertices());
+    validate_deletions_exist(working_, batch.deletions);
+    const amem::Phase measure;
+
+    BiconnUpdateReport report;
+    report.epoch = epoch() + 1;
+
+    if (batch.deletions.empty() &&
+        working_.delta_after_inserting(batch.insertions) <
+            opt_.compact_threshold) {
+      BiconnPatch staged = patch_;
+      if (plan_fast_insert(batch.insertions, staged, report)) {
+        report.path = BiconnUpdateReport::Path::kFastInsert;
+        apply_fast_insert(batch.insertions, std::move(staged), report,
+                          measure);
+        return report;
+      }
+      report = BiconnUpdateReport{};  // discard fast-path planning counts
+      report.epoch = epoch() + 1;
+    }
+
+    // Rebuild paths: stage the batch into a scratch overlay; working_
+    // stays untouched until publish_and_commit.
+    OverlayGraph staged = working_;
+    for (const graph::Edge& e : batch.deletions) {
+      staged.delete_edge(e.u, e.v);
+    }
+    for (const graph::Edge& e : batch.insertions) {
+      staged.insert_edge(e.u, e.v);
+    }
+
+    const char* phase_name;
+    Staged next = [&] {
+      if (staged.delta_size() >= opt_.compact_threshold) {
+        report.path = BiconnUpdateReport::Path::kCompaction;
+        phase_name = "dynamic_biconn/compaction";
+        return stage_compaction(staged);
+      }
+      report.path = BiconnUpdateReport::Path::kSelectiveRebuild;
+      phase_name = "dynamic_biconn/selective_rebuild";
+      return stage_selective_rebuild(std::move(staged), batch, report);
+    }();
+    if (failure_hook_) failure_hook_(report.path);
+    amem::accumulate_phase(phase_name, measure.delta());
+    publish_and_commit(std::move(next), report);
+    return report;
+  }
+
+  BiconnUpdateReport insert_edges(graph::EdgeList edges) {
+    return apply(UpdateBatch::inserting(std::move(edges)));
+  }
+  BiconnUpdateReport delete_edges(graph::EdgeList edges) {
+    return apply(UpdateBatch::deleting(std::move(edges)));
+  }
+
+  /// Run apply() on a separate thread; readers keep querying pinned
+  /// snapshots while the next version builds.
+  [[nodiscard]] std::future<BiconnUpdateReport> apply_async(
+      UpdateBatch batch) {
+    return std::async(std::launch::async,
+                      [this, b = std::move(batch)] { return apply(b); });
+  }
+
+  /// Force a compaction (flatten overlay, full normalized rebuild) now.
+  BiconnUpdateReport compact() {
+    const std::lock_guard<std::mutex> lock(write_mu_);
+    const amem::Phase measure;
+    const BiconnUpdateReport report{
+        epoch() + 1, BiconnUpdateReport::Path::kCompaction, 0, 0, 0};
+    Staged next = stage_compaction(working_);
+    if (failure_hook_) failure_hook_(report.path);
+    amem::accumulate_phase("dynamic_biconn/compaction", measure.delta());
+    publish_and_commit(std::move(next), report);
+    return report;
+  }
+
+  /// Test-only failure injection: invoked (under the writer lock) after
+  /// the new epoch has been fully staged but before anything is published
+  /// or committed — same contract as DynamicConnectivity's hook.
+  void set_failure_injection_hook(
+      std::function<void(BiconnUpdateReport::Path)> hook) {
+    const std::lock_guard<std::mutex> lock(write_mu_);
+    failure_hook_ = std::move(hook);
+  }
+
+ private:
+  /// A fully built next epoch, not yet visible to anyone.
+  struct Staged {
+    std::shared_ptr<const graph::Graph> base;
+    OverlayGraph working;
+    std::shared_ptr<const VersionedBiconnOracle> state;
+    BiconnPatch patch;
+  };
+
+  /// Decide whether the insertion batch is absorbable and stage the patch
+  /// mutations into `staged` (a copy of patch_). Returns false — leaving
+  /// members untouched — when any edge needs a structural rebuild. Reads
+  /// only; O(B k^2) expected operations, O(B) counted writes into the
+  /// staged patch.
+  bool plan_fast_insert(const graph::EdgeList& insertions,
+                        BiconnPatch& staged, BiconnUpdateReport& report) {
+    const auto& oracle = state_->oracle;
+    const auto is_center = [&](graph::vertex_id l) {
+      return oracle.decomposition().is_center(l);
+    };
+    // Endpoint adjacency for the articulation rule: any neighbor in the
+    // pre-batch working graph (which already holds earlier absorbed
+    // epochs) or an earlier edge of this batch.
+    std::unordered_map<graph::vertex_id, bool> deg_cache;
+    std::unordered_set<graph::vertex_id> batch_adj;
+    const auto endpoint_has_neighbor = [&](graph::vertex_id x) {
+      if (batch_adj.count(x)) return true;
+      const auto [it, fresh] = deg_cache.try_emplace(x, false);
+      if (fresh) it->second = working_.has_non_self_neighbor(x);
+      return it->second;
+    };
+
+    for (const graph::Edge& e : insertions) {
+      if (e.u == e.v) {
+        // Self-loops are biconnectivity-inert, but still leave the
+        // breadcrumb: build_reusing's contract is that a clean component's
+        // subgraph is bit-identical to the old frozen one, and nothing
+        // should silently ride on every consumer skipping self-loops.
+        staged.touch_component(oracle.component_of(e.u));
+        ++report.absorbed_edges;
+        continue;
+      }
+      const graph::vertex_id bu = oracle.component_of(e.u);
+      const graph::vertex_id bv = oracle.component_of(e.v);
+      if (staged.conn.find(bu) != staged.conn.find(bv)) {
+        // Component merge: the one edge between two merged components.
+        if (endpoint_has_neighbor(e.u)) staged.add_articulation(e.u);
+        if (endpoint_has_neighbor(e.v)) staged.add_articulation(e.v);
+        staged.conn.unite(bu, bv, is_center);
+        staged.add_bridge(e.u, e.v);
+        staged.touch_component(bu);
+        staged.touch_component(bv);
+        batch_adj.insert(e.u);
+        batch_adj.insert(e.v);
+        ++report.patched_bridges;
+        continue;
+      }
+      // Already connected in the patched view: absorbable only when the
+      // edge provably lands inside one 2-connected, 2-edge-connected block
+      // of the *frozen* component (patched connections always cross a
+      // patched bridge, which the new edge would cycle through).
+      if (bu != bv || !oracle.biconnected(e.u, e.v) ||
+          !oracle.two_edge_connected(e.u, e.v)) {
+        return false;
+      }
+      staged.touch_component(bu);
+      batch_adj.insert(e.u);
+      batch_adj.insert(e.v);
+      ++report.absorbed_edges;
+    }
+    return true;
+  }
+
+  /// Commit the planned fast path: mutate working_ in place under a
+  /// nothrow undo log, publish, then swap the staged patch in. Mirrors
+  /// DynamicConnectivity::apply_fast_insert.
+  void apply_fast_insert(const graph::EdgeList& insertions,
+                         BiconnPatch&& staged,
+                         const BiconnUpdateReport& report,
+                         const amem::Phase& measure) {
+    OverlayGraph::UndoLog undo;
+    try {
+      for (const graph::Edge& e : insertions) {
+        working_.insert_edge_logged(e.u, e.v, undo);
+      }
+      if (failure_hook_) {
+        failure_hook_(BiconnUpdateReport::Path::kFastInsert);
+      }
+      amem::accumulate_phase("dynamic_biconn/insert_fastpath",
+                             measure.delta());
+      store_.publish(
+          std::make_shared<BiconnSnapshot>(report.epoch, state_, staged));
+    } catch (...) {
+      working_.undo_inserts(undo);
+      working_.sweep_empty_patches(insertions);
+      throw;
+    }
+    working_.sweep_empty_patches(insertions);
+    patch_ = std::move(staged);
+    epoch_.store(report.epoch, std::memory_order_release);
+  }
+
+  /// Selective rebuild: relabel only the components the batch or the
+  /// pending patch touched; BiconnectivityOracle::build_reusing copies
+  /// every clean cluster's state. Reads the old state_/patch_ and the
+  /// staged overlay; mutates neither member.
+  Staged stage_selective_rebuild(OverlayGraph&& staged,
+                                 const UpdateBatch& batch,
+                                 BiconnUpdateReport& report) const {
+    const auto& old = state_->oracle;
+
+    DirtyTracker dirty;
+    for (const graph::vertex_id l : patch_.touched()) {
+      dirty.mark_component(l);
+    }
+    // Belt and braces: the conn patch's labels are a subset of touched(),
+    // but folding them in keeps the dirty set sound even if the two ever
+    // drift.
+    patch_.conn.for_touched(
+        [&](graph::vertex_id l) { dirty.mark_component(l); });
+    const auto note = [&](graph::vertex_id x) {
+      dirty.mark_component(old.component_of(x));
+    };
+    for (const graph::Edge& e : batch.deletions) {
+      note(e.u);
+      note(e.v);
+    }
+    for (const graph::Edge& e : batch.insertions) {
+      note(e.u);
+      note(e.v);
+    }
+
+    auto frozen = std::make_shared<const OverlayGraph>(staged);
+    auto oracle2 = biconn::BiconnectivityOracle<OverlayGraph>::build_reusing(
+        *frozen, opt_.oracle, old, dirty.components());
+    auto state = std::make_shared<VersionedBiconnOracle>(
+        frozen, std::move(oracle2));
+    report.dirty_components = dirty.num_components();
+    return Staged{base_, std::move(staged), std::move(state), BiconnPatch{}};
+  }
+
+  /// Flatten the staged overlay into a fresh CSR base and rebuild from
+  /// scratch over a normalized decomposition.
+  Staged stage_compaction(const OverlayGraph& staged) const {
+    return stage_full_build(std::make_shared<const graph::Graph>(
+        graph::Graph::from_edges(num_vertices(), staged.edge_list())));
+  }
+
+  /// Full build with the all-primary normalization invariant: run
+  /// Algorithm 1, export its centers, re-install them primary, then build
+  /// the oracle over the reused decomposition — so later selective
+  /// rebuilds reproduce clean components' rho() exactly.
+  Staged stage_full_build(std::shared_ptr<const graph::Graph> base) const {
+    OverlayGraph working(base);
+    auto frozen = std::make_shared<const OverlayGraph>(working);
+    decomp::DecompOptions dopt;
+    dopt.k = opt_.oracle.k;
+    dopt.seed = opt_.oracle.seed;
+    auto seeded = decomp::ImplicitDecomposition<OverlayGraph>::build(
+        *frozen, dopt);
+    auto normalized =
+        decomp::ImplicitDecomposition<OverlayGraph>::build_reusing(
+            *frozen, dopt, seeded.export_centers());
+    auto oracle = biconn::BiconnectivityOracle<OverlayGraph>::
+        from_decomposition(std::move(normalized), opt_.oracle);
+    auto state = std::make_shared<VersionedBiconnOracle>(std::move(frozen),
+                                                         std::move(oracle));
+    return Staged{std::move(base), std::move(working), std::move(state),
+                  BiconnPatch{}};
+  }
+
+  /// Publish the staged epoch's snapshot, then swap the staged members in
+  /// with noexcept moves only — a throw anywhere before or inside the
+  /// publish leaves the previous epoch fully intact.
+  void publish_and_commit(Staged&& next, const BiconnUpdateReport& report) {
+    static_assert(std::is_nothrow_move_assignable_v<OverlayGraph> &&
+                      std::is_nothrow_move_assignable_v<BiconnPatch>,
+                  "commit must not be able to throw halfway through");
+    store_.publish(std::make_shared<BiconnSnapshot>(report.epoch, next.state,
+                                                    next.patch));
+    base_ = std::move(next.base);
+    working_ = std::move(next.working);
+    state_ = std::move(next.state);
+    patch_ = std::move(next.patch);
+    epoch_.store(report.epoch, std::memory_order_release);
+  }
+
+  DynamicBiconnOptions opt_;
+  mutable std::mutex write_mu_;
+  std::atomic<std::uint64_t> epoch_{0};
+  std::shared_ptr<const graph::Graph> base_;
+  std::size_t n_ = 0;     // fixed vertex count (reader-safe)
+  OverlayGraph working_;  // the current logical graph (base_ + deltas)
+  BiconnPatch patch_;     // pending absorptions relative to state_
+  std::shared_ptr<const VersionedBiconnOracle> state_;
+  BiconnSnapshotStore store_;
+  std::function<void(BiconnUpdateReport::Path)> failure_hook_;  // test-only
+};
+
+}  // namespace wecc::dynamic

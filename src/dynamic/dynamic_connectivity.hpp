@@ -75,21 +75,6 @@ struct DynamicOptions {
   std::size_t compact_threshold = 0;
 };
 
-/// What one apply() did — which path ran and how much it touched.
-struct UpdateReport {
-  enum class Path : std::uint8_t {
-    kInitialBuild,  // epoch-0 publish from the constructor
-    kFastInsert,
-    kSelectiveRebuild,
-    kCompaction,
-  };
-  std::uint64_t epoch = 0;
-  Path path = Path::kFastInsert;
-  std::size_t dirty_clusters = 0;    // selective rebuild only
-  std::size_t dirty_labels = 0;      // selective rebuild only
-  std::size_t relabeled_centers = 0; // selective rebuild only
-};
-
 class DynamicConnectivity {
  public:
   /// Builds the epoch-0 oracle over `base` (vertex set fixed thereafter).
@@ -160,7 +145,7 @@ class DynamicConnectivity {
   UpdateReport apply(const UpdateBatch& batch) {
     const std::lock_guard<std::mutex> lock(write_mu_);
     batch.validate(num_vertices());
-    check_deletions_exist(batch.deletions);
+    validate_deletions_exist(working_, batch.deletions);
     const amem::Phase measure;
 
     UpdateReport report;
@@ -260,22 +245,6 @@ class DynamicConnectivity {
     std::shared_ptr<const VersionedOracle> state;
     LabelPatch patch;
   };
-
-  /// Strong exception safety for deletions: verify the whole batch against
-  /// the working overlay (with per-edge multiplicities) before staging.
-  void check_deletions_exist(const graph::EdgeList& deletions) const {
-    std::unordered_map<std::uint64_t, std::size_t> want;
-    for (const graph::Edge& e : deletions) ++want[edge_key(e.u, e.v)];
-    for (const auto& [key, cnt] : want) {
-      const auto lo = graph::vertex_id(key >> 32);
-      const auto hi = graph::vertex_id(key);
-      if (working_.multiplicity(lo, hi) < cnt) {
-        throw std::invalid_argument(
-            "deleting edge (" + std::to_string(lo) + ", " +
-            std::to_string(hi) + ") more times than it is present");
-      }
-    }
-  }
 
   /// Insert fast path, O(B): merge endpoint component labels in a copy of
   /// the pending patch (the oracle keeps reading its frozen pre-insertion

@@ -24,6 +24,8 @@
 #include <bit>
 #include <cassert>
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -215,6 +217,35 @@ class OverlayGraph {
     return delta;
   }
 
+  /// Does v have any neighbor other than itself in the overlaid graph?
+  /// O(log deg(v) + log |patch(v)|) counted reads — binary searches over
+  /// the sorted base adjacency and patches instead of an O(deg) scan (the
+  /// biconn fast path's articulation rule probes this per batch endpoint).
+  /// Exact because del_[v] is a sub-multiset of the base adjacency.
+  [[nodiscard]] bool has_non_self_neighbor(graph::vertex_id v) const {
+    const auto eit = extra_.find(v);
+    amem::count_read();
+    if (eit != extra_.end()) {
+      const std::vector<graph::vertex_id>& ex = eit->second;
+      amem::count_read(2 * std::bit_width(ex.size()));
+      const auto [lo, hi] = std::equal_range(ex.begin(), ex.end(), v);
+      if (ex.size() > std::size_t(hi - lo)) return true;
+    }
+    const auto nb = base_->neighbors_raw(v);
+    amem::count_read(1 + 2 * std::bit_width(nb.size()));
+    const auto [blo, bhi] = std::equal_range(nb.begin(), nb.end(), v);
+    std::size_t survivors = nb.size() - std::size_t(bhi - blo);
+    const auto dit = del_.find(v);
+    amem::count_read();
+    if (dit != del_.end()) {
+      const std::vector<graph::vertex_id>& dl = dit->second;
+      amem::count_read(2 * std::bit_width(dl.size()));
+      const auto [dlo, dhi] = std::equal_range(dl.begin(), dl.end(), v);
+      survivors -= dl.size() - std::size_t(dhi - dlo);
+    }
+    return survivors > 0;
+  }
+
   /// Delete one copy of edge (u, v). Returns false (and changes nothing) if
   /// the edge is not present. O(1) expected counted writes per arc (same
   /// small-vector caveat as insert_edge).
@@ -369,5 +400,23 @@ class OverlayGraph {
 };
 
 static_assert(graph::GraphView<OverlayGraph>);
+
+/// Strong exception safety for deletions, shared by the dynamic facades:
+/// verify the whole batch against the working overlay (with per-edge
+/// multiplicities) before anything is staged or mutated.
+inline void validate_deletions_exist(const OverlayGraph& working,
+                                     const graph::EdgeList& deletions) {
+  std::unordered_map<std::uint64_t, std::size_t> want;
+  for (const graph::Edge& e : deletions) ++want[edge_key(e.u, e.v)];
+  for (const auto& [key, cnt] : want) {
+    const auto lo = graph::vertex_id(key >> 32);
+    const auto hi = graph::vertex_id(key);
+    if (working.multiplicity(lo, hi) < cnt) {
+      throw std::invalid_argument(
+          "deleting edge (" + std::to_string(lo) + ", " +
+          std::to_string(hi) + ") more times than it is present");
+    }
+  }
+}
 
 }  // namespace wecc::dynamic

@@ -140,14 +140,18 @@ class Snapshot {
 /// mutex-guarded (snapshots themselves are immutable, so readers only hold
 /// the lock long enough to copy a shared_ptr). Eviction drops the store's
 /// reference; pinned snapshots live on until their readers release them.
-class SnapshotStore {
+/// Generic over the snapshot type — the connectivity and biconnectivity
+/// facades publish different views through the same ring discipline; SnapT
+/// only needs an `epoch()` accessor.
+template <typename SnapT>
+class SnapshotStoreT {
  public:
-  explicit SnapshotStore(std::size_t capacity)
+  explicit SnapshotStoreT(std::size_t capacity)
       : capacity_(capacity == 0 ? 1 : capacity) {}
 
   /// Epochs must be published in increasing order (at_epoch binary-searches
   /// the ring on that invariant; the single serialized writer guarantees it).
-  void publish(std::shared_ptr<const Snapshot> snap) {
+  void publish(std::shared_ptr<const SnapT> snap) {
     const std::lock_guard<std::mutex> lock(mu_);
     assert(ring_.empty() || snap->epoch() > ring_.back()->epoch());
     ring_.push_back(std::move(snap));
@@ -155,7 +159,7 @@ class SnapshotStore {
   }
 
   /// Latest snapshot (never null once the owner published epoch 0).
-  [[nodiscard]] std::shared_ptr<const Snapshot> current() const {
+  [[nodiscard]] std::shared_ptr<const SnapT> current() const {
     const std::lock_guard<std::mutex> lock(mu_);
     return ring_.empty() ? nullptr : ring_.back();
   }
@@ -164,12 +168,12 @@ class SnapshotStore {
   /// Publishes are monotone (the writer increments the epoch under its
   /// lock), so the ring is sorted by epoch and this is a binary search:
   /// O(log capacity) instead of a linear scan.
-  [[nodiscard]] std::shared_ptr<const Snapshot> at_epoch(
+  [[nodiscard]] std::shared_ptr<const SnapT> at_epoch(
       std::uint64_t epoch) const {
     const std::lock_guard<std::mutex> lock(mu_);
     const auto it = std::lower_bound(
         ring_.begin(), ring_.end(), epoch,
-        [](const std::shared_ptr<const Snapshot>& s, std::uint64_t e) {
+        [](const std::shared_ptr<const SnapT>& s, std::uint64_t e) {
           return s->epoch() < e;
         });
     if (it == ring_.end() || (*it)->epoch() != epoch) return nullptr;
@@ -191,8 +195,10 @@ class SnapshotStore {
 
  private:
   mutable std::mutex mu_;
-  std::deque<std::shared_ptr<const Snapshot>> ring_;
+  std::deque<std::shared_ptr<const SnapT>> ring_;
   std::size_t capacity_;
 };
+
+using SnapshotStore = SnapshotStoreT<Snapshot>;
 
 }  // namespace wecc::dynamic

@@ -1,9 +1,11 @@
 // UpdateBatch: one epoch's worth of edge insertions and deletions, applied
 // atomically — readers either see the whole batch (the new snapshot) or none
-// of it (any pinned older snapshot).
+// of it (any pinned older snapshot). Also home to UpdateReport, the shared
+// what-did-apply-do vocabulary of the dynamic facades.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -11,6 +13,23 @@
 #include "graph/graph.hpp"
 
 namespace wecc::dynamic {
+
+/// What one DynamicConnectivity::apply() did — which path ran and how much
+/// it touched. The Path enum is shared with the biconnectivity facade's
+/// BiconnUpdateReport (same update-path taxonomy, different counters).
+struct UpdateReport {
+  enum class Path : std::uint8_t {
+    kInitialBuild,  // epoch-0 publish from the constructor
+    kFastInsert,
+    kSelectiveRebuild,
+    kCompaction,
+  };
+  std::uint64_t epoch = 0;
+  Path path = Path::kFastInsert;
+  std::size_t dirty_clusters = 0;    // selective rebuild only
+  std::size_t dirty_labels = 0;      // selective rebuild only
+  std::size_t relabeled_centers = 0; // selective rebuild only
+};
 
 struct UpdateBatch {
   graph::EdgeList insertions;

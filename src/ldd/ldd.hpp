@@ -1,4 +1,4 @@
-// Write-efficient low-diameter decomposition (Miller–Peng–Xu random shifts),
+// Write-efficient low-diameter decomposition (Miller–Peng–Xu shifts),
 // §4.1 / Appendix C / Theorem 4.1.
 //
 // Every vertex v draws delta_v ~ Exp(beta); a BFS from v starts at iteration

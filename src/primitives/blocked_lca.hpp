@@ -16,6 +16,7 @@
 
 #include <bit>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "amem/counters.hpp"
@@ -28,13 +29,22 @@ class BlockedLca {
  public:
   BlockedLca() = default;
 
-  explicit BlockedLca(const TreeArrays& t) : t_(&t) {
-    const std::size_t n = t.parent.size();
+  /// Copies the tree arrays: the index owns everything it dereferences, so
+  /// an object holding both a TreeArrays and a BlockedLca (e.g. the §5.3
+  /// oracle) stays valid when moved — a pointer back into the sibling
+  /// member would dangle the moment such an owner is relocated.
+  explicit BlockedLca(TreeArrays t) : tree_(std::move(t)) {
+    const std::size_t n = tree_.parent.size();
     block_ = std::max<std::size_t>(2, std::bit_width(n));
     build_tour();
     build_block_table();
     build_macro_lifting();
   }
+
+  /// The owned tree arrays — owners that need the same arrays (parent,
+  /// depth, Euler numbers) can read this copy instead of keeping a
+  /// duplicate sibling member.
+  [[nodiscard]] const TreeArrays& tree() const noexcept { return tree_; }
 
   /// LCA of u and v (same tree). O(log n) reads.
   [[nodiscard]] graph::vertex_id lca(graph::vertex_id u,
@@ -59,19 +69,19 @@ class BlockedLca {
   [[nodiscard]] graph::vertex_id ancestor_at_depth(graph::vertex_id v,
                                                    std::uint32_t d) const {
     // Walk to the nearest macro ancestor (or straight to the target).
-    while (t_->depth[v] > d && (t_->depth[v] % block_ != 0)) {
-      v = t_->parent[v];
+    while (tree_.depth[v] > d && (tree_.depth[v] % block_ != 0)) {
+      v = tree_.parent[v];
       amem::count_read();
     }
     // Macro jumps in units of block_.
-    while (t_->depth[v] >= d + block_) {
-      std::uint32_t blocks_left = (t_->depth[v] - d) / std::uint32_t(block_);
+    while (tree_.depth[v] >= d + block_) {
+      std::uint32_t blocks_left = (tree_.depth[v] - d) / std::uint32_t(block_);
       const std::size_t l = std::size_t(std::bit_width(blocks_left)) - 1;
       v = macro_up_[l][macro_index_[v]];
       amem::count_read(2);
     }
-    while (t_->depth[v] > d) {
-      v = t_->parent[v];
+    while (tree_.depth[v] > d) {
+      v = tree_.parent[v];
       amem::count_read();
     }
     return v;
@@ -80,7 +90,7 @@ class BlockedLca {
  private:
   [[nodiscard]] graph::vertex_id shallower(graph::vertex_id a,
                                            graph::vertex_id b) const {
-    return t_->depth[a] <= t_->depth[b] ? a : b;
+    return tree_.depth[a] <= tree_.depth[b] ? a : b;
   }
 
   [[nodiscard]] graph::vertex_id scan_min(std::size_t lo,
@@ -94,25 +104,25 @@ class BlockedLca {
   }
 
   void build_tour() {
-    const std::size_t n = t_->parent.size();
+    const std::size_t n = tree_.parent.size();
     pos_.assign(n, 0);
     tour_.reserve(2 * n);
     // Children CSR, ascending.
     std::vector<std::uint32_t> cnt(n + 1, 0);
     for (std::size_t v = 0; v < n; ++v) {
-      if (t_->parent[v] != graph::vertex_id(v)) cnt[t_->parent[v] + 1]++;
+      if (tree_.parent[v] != graph::vertex_id(v)) cnt[tree_.parent[v] + 1]++;
     }
     for (std::size_t i = 0; i < n; ++i) cnt[i + 1] += cnt[i];
     std::vector<graph::vertex_id> child(cnt[n]);
     std::vector<std::uint32_t> cur(cnt.begin(), cnt.end() - 1);
     for (std::size_t v = 0; v < n; ++v) {
-      if (t_->parent[v] != graph::vertex_id(v)) {
-        child[cur[t_->parent[v]]++] = graph::vertex_id(v);
+      if (tree_.parent[v] != graph::vertex_id(v)) {
+        child[cur[tree_.parent[v]]++] = graph::vertex_id(v);
       }
     }
     std::vector<std::pair<graph::vertex_id, std::uint32_t>> stack;
     for (std::size_t r = 0; r < n; ++r) {
-      if (t_->parent[r] != graph::vertex_id(r)) continue;
+      if (tree_.parent[r] != graph::vertex_id(r)) continue;
       stack.push_back({graph::vertex_id(r), 0});
       pos_[r] = std::uint32_t(tour_.size());
       tour_.push_back(graph::vertex_id(r));
@@ -157,11 +167,11 @@ class BlockedLca {
   }
 
   void build_macro_lifting() {
-    const std::size_t n = t_->parent.size();
+    const std::size_t n = tree_.parent.size();
     macro_index_.assign(n, ~std::uint32_t{0});
     std::vector<graph::vertex_id> macros;
     for (std::size_t v = 0; v < n; ++v) {
-      if (t_->depth[v] % block_ == 0) {
+      if (tree_.depth[v] % block_ == 0) {
         macro_index_[v] = std::uint32_t(macros.size());
         macros.push_back(graph::vertex_id(v));
       }
@@ -169,17 +179,17 @@ class BlockedLca {
     amem::count_write(macros.size());
     // up[0][i]: macro ancestor exactly block_ levels up (or self at root).
     std::uint32_t maxd = 0;
-    for (const auto d : t_->depth) maxd = std::max(maxd, d);
+    for (const auto d : tree_.depth) maxd = std::max(maxd, d);
     const std::size_t levels =
         std::size_t(std::bit_width(maxd / std::uint32_t(block_) + 1)) + 1;
     macro_up_.assign(levels,
                      std::vector<graph::vertex_id>(macros.size()));
     for (std::size_t i = 0; i < macros.size(); ++i) {
       graph::vertex_id v = macros[i];
-      if (t_->depth[v] < block_) {
+      if (tree_.depth[v] < block_) {
         macro_up_[0][i] = v;  // shallow macro: stay (loop guard handles it)
       } else {
-        for (std::size_t s = 0; s < block_; ++s) v = t_->parent[v];
+        for (std::size_t s = 0; s < block_; ++s) v = tree_.parent[v];
         macro_up_[0][i] = v;
       }
     }
@@ -193,7 +203,7 @@ class BlockedLca {
     }
   }
 
-  const TreeArrays* t_ = nullptr;
+  TreeArrays tree_;
   std::size_t block_ = 4;
   std::vector<graph::vertex_id> tour_;
   std::vector<std::uint32_t> pos_;

@@ -252,7 +252,9 @@ TEST(BiconnOracle, ParallelConstructionMatchesSequential) {
   for (const auto& e : g.edge_list()) {
     const auto ea = a.edge_bcc(e.u, e.v), eb = b.edge_bcc(e.u, e.v);
     ASSERT_EQ(ea.has_value(), eb.has_value());
-    if (ea) ASSERT_TRUE(*ea == *eb);
+    if (ea) {
+      ASSERT_TRUE(*ea == *eb);
+    }
   }
 }
 

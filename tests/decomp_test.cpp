@@ -52,7 +52,9 @@ void check_decomposition(const Graph& g, const Decomp& d, std::size_t k) {
     }
     clusters[r.center].push_back(v);
     // Centers map to themselves with no next hop.
-    if (v == r.center) EXPECT_EQ(r.next_hop, graph::kNoVertex);
+    if (v == r.center) {
+      EXPECT_EQ(r.next_hop, graph::kNoVertex);
+    }
   }
 
   for (const auto& [s, members] : clusters) {

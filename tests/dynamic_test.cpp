@@ -155,6 +155,29 @@ TEST(OverlayGraph, SelfLoopInsertDeleteRoundTrip) {
   EXPECT_EQ(og.delta_size(), 0u);
 }
 
+TEST(OverlayGraph, HasNonSelfNeighborTracksPatches) {
+  // 0-1 base edge, 2 with only a self-loop, 3 isolated.
+  auto base = std::make_shared<const Graph>(
+      Graph::from_edges(4, {{0, 1}, {2, 2}}));
+  OverlayGraph og(base);
+  EXPECT_TRUE(og.has_non_self_neighbor(0));
+  EXPECT_TRUE(og.has_non_self_neighbor(1));
+  EXPECT_FALSE(og.has_non_self_neighbor(2));  // self-loop does not count
+  EXPECT_FALSE(og.has_non_self_neighbor(3));
+
+  // Deleting the only real edge flips both endpoints to false.
+  ASSERT_TRUE(og.delete_edge(0, 1));
+  EXPECT_FALSE(og.has_non_self_neighbor(0));
+  EXPECT_FALSE(og.has_non_self_neighbor(1));
+
+  // Inserted arcs count; an inserted self-loop still does not.
+  og.insert_edge(3, 3);
+  EXPECT_FALSE(og.has_non_self_neighbor(3));
+  og.insert_edge(2, 3);
+  EXPECT_TRUE(og.has_non_self_neighbor(2));
+  EXPECT_TRUE(og.has_non_self_neighbor(3));
+}
+
 TEST(OverlayGraph, DeleteHeavyEnumerationMatchesMaterialized) {
   // Parallel edges, self-loops, and randomized deletes/inserts: enumeration
   // through the sorted two-pointer merge must agree arc-for-arc (as a
@@ -610,7 +633,9 @@ TEST(BatchQuery, PinnedEngineSurvivesEviction) {
   DynamicConnectivity dc(g, opt);
 
   const dynamic::BatchQueryEngine engine(dc.snapshot());
-  for (int i = 0; i < 4; ++i) dc.delete_edges({{vertex_id(i), vertex_id(i + 1)}});
+  for (int i = 0; i < 4; ++i) {
+    dc.delete_edges({{vertex_id(i), vertex_id(i + 1)}});
+  }
   // Store only holds the latest epoch, but the engine's pin is intact.
   EXPECT_EQ(dc.store().size(), 1u);
   const std::vector<dynamic::VertexPair> q{{0, 9}};

@@ -123,7 +123,9 @@ TEST(Integration, EndToEndDeterminism) {
   for (const auto& e : g.edge_list()) {
     const auto ex = x.edge_bcc(e.u, e.v), ey = y.edge_bcc(e.u, e.v);
     ASSERT_EQ(ex.has_value(), ey.has_value());
-    if (ex) EXPECT_TRUE(*ex == *ey);
+    if (ex) {
+      EXPECT_TRUE(*ex == *ey);
+    }
   }
 }
 

@@ -111,7 +111,9 @@ TEST(Stress, ManyTinyComponents) {
   for (vertex_id t = 0; t < 1000; t += 13) {
     const vertex_id b = t * 3;
     EXPECT_TRUE(co.connected(b, vertex_id(b + 2)));
-    if (t + 1 < 1000) EXPECT_FALSE(co.connected(b, vertex_id(b + 3)));
+    if (t + 1 < 1000) {
+      EXPECT_FALSE(co.connected(b, vertex_id(b + 3)));
+    }
     EXPECT_TRUE(bo.biconnected(b, vertex_id(b + 1)));
     EXPECT_FALSE(bo.is_articulation(b));
     EXPECT_FALSE(bo.is_bridge(b, vertex_id(b + 1)));
