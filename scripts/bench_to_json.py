@@ -31,6 +31,13 @@ def distill(raw):
                 "ns_per_op": b["real_time"] * unit,
                 "speedup_vs_rebuild": b.get("speedup_vs_rebuild"),
                 "writes_per_batch": b.get("writes_per_batch"),
+                # Durability rows (bench_persist): real I/O next to the
+                # modeled counters.
+                "bytes_to_storage": b.get("bytes_to_storage"),
+                "snapshot_bytes": b.get("snapshot_bytes"),
+                "wal_bytes_per_batch": b.get("wal_bytes_per_batch"),
+                "replayed_batches": b.get("replayed_batches"),
+                "bytes_per_second": b.get("bytes_per_second"),
                 "verified": b.get("verified"),
                 "error": b.get("error_message"),
             }

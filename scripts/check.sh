@@ -64,4 +64,12 @@ echo "== bench smoke: dynamic biconnectivity (self-verified vs rebuild) =="
 python3 scripts/bench_to_json.py "$BUILD_DIR/bench_dynamic_biconn_raw.json" \
   BENCH_dynamic_biconn.json
 
+echo "== bench smoke: durability (snapshot / WAL / recovery / time-travel) =="
+"$BUILD_DIR/bench/bench_persist" \
+  --benchmark_filter="$BENCH_FILTER" \
+  --benchmark_out="$BUILD_DIR/bench_persist_raw.json" \
+  --benchmark_out_format=json
+python3 scripts/bench_to_json.py "$BUILD_DIR/bench_persist_raw.json" \
+  BENCH_persist.json
+
 echo "check.sh: all green"

@@ -82,4 +82,40 @@ void reset_phases() {
   phase_map().clear();
 }
 
+namespace {
+// Storage operations are coarse (one call per file write / WAL append), so
+// plain shared atomics are cheap enough — no per-thread sharding needed.
+std::atomic<std::uint64_t> g_storage_bytes{0};
+std::atomic<std::uint64_t> g_storage_appends{0};
+std::atomic<std::uint64_t> g_storage_fsyncs{0};
+}  // namespace
+
+void count_storage_write(std::uint64_t bytes) noexcept {
+  g_storage_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  g_storage_appends.fetch_add(1, std::memory_order_relaxed);
+}
+
+void count_storage_fsync() noexcept {
+  g_storage_fsyncs.fetch_add(1, std::memory_order_relaxed);
+}
+
+StorageStats storage_snapshot() noexcept {
+  return StorageStats{g_storage_bytes.load(std::memory_order_relaxed),
+                      g_storage_appends.load(std::memory_order_relaxed),
+                      g_storage_fsyncs.load(std::memory_order_relaxed)};
+}
+
+void reset_storage() noexcept {
+  g_storage_bytes.store(0, std::memory_order_relaxed);
+  g_storage_appends.store(0, std::memory_order_relaxed);
+  g_storage_fsyncs.store(0, std::memory_order_relaxed);
+}
+
+std::string to_string(const StorageStats& s) {
+  std::ostringstream os;
+  os << "storage_bytes=" << s.bytes_written << " appends=" << s.appends
+     << " fsyncs=" << s.fsyncs;
+  return os.str();
+}
+
 }  // namespace wecc::amem

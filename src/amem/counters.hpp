@@ -120,4 +120,44 @@ class ScopedPhase {
   Phase phase_;
 };
 
+// ---------------------------------------------------------------------------
+// Real bytes-to-storage accounting. The counters above *model* the cost of
+// writes to asymmetric memory; this channel measures what the persistence
+// layer (src/persist/) actually pushes to durable storage — snapshot files
+// and WAL appends — so benchmarks can report modeled writes and measured
+// bytes side by side instead of conflating the two.
+// ---------------------------------------------------------------------------
+
+/// A snapshot of the storage channel (or a delta between two snapshots).
+struct StorageStats {
+  std::uint64_t bytes_written = 0;  // payload bytes handed to durable files
+  std::uint64_t appends = 0;        // WAL records + snapshot files written
+  std::uint64_t fsyncs = 0;         // explicit durability barriers issued
+
+  StorageStats operator-(const StorageStats& o) const noexcept {
+    return StorageStats{bytes_written - o.bytes_written, appends - o.appends,
+                        fsyncs - o.fsyncs};
+  }
+  StorageStats operator+(const StorageStats& o) const noexcept {
+    return StorageStats{bytes_written + o.bytes_written, appends + o.appends,
+                        fsyncs + o.fsyncs};
+  }
+  bool operator==(const StorageStats& o) const noexcept = default;
+};
+
+/// Charge one durable append of `bytes` payload bytes.
+void count_storage_write(std::uint64_t bytes) noexcept;
+
+/// Charge one fsync (or equivalent durability barrier).
+void count_storage_fsync() noexcept;
+
+/// Sum the storage channel.
+StorageStats storage_snapshot() noexcept;
+
+/// Zero the storage channel. Only call when no persistence code is running.
+void reset_storage() noexcept;
+
+/// Pretty one-line rendering ("storage_bytes=... appends=... fsyncs=...").
+std::string to_string(const StorageStats& s);
+
 }  // namespace wecc::amem

@@ -143,4 +143,31 @@ class BiconnBatchQueryEngine {
   std::shared_ptr<const BiconnSnapshot> snap_;
 };
 
+/// One time-travel probe: a MixedQuery pinned to a historical epoch.
+/// Answered against on-disk epoch history (persist::EpochHistory), not a
+/// pinned in-memory snapshot — the epoch may long predate every snapshot
+/// the store still holds.
+struct TimeTravelQuery {
+  MixedQuery::Kind kind = MixedQuery::Kind::kConnected;
+  graph::vertex_id u = 0;
+  graph::vertex_id v = 0;
+  std::uint64_t epoch = 0;
+};
+
+/// Answer a time-travel query vector in parallel. `History` is anything
+/// with a thread-safe `answer_at(kind, u, v, epoch)` — persist::
+/// EpochHistory in production (templated here so the dynamic layer does
+/// not depend on the persistence layer). Grain defaults low: the first
+/// probe of a cold epoch pays that epoch's reconstruction.
+template <typename History>
+[[nodiscard]] std::vector<std::uint8_t> answer_time_travel(
+    const History& history, std::span<const TimeTravelQuery> queries,
+    std::size_t grain = 4) {
+  return detail::parallel_map<std::uint8_t>(
+      queries.size(), grain, [&](std::size_t i) {
+        const TimeTravelQuery& q = queries[i];
+        return history.answer_at(q.kind, q.u, q.v, q.epoch) ? 1 : 0;
+      });
+}
+
 }  // namespace wecc::dynamic

@@ -1,0 +1,51 @@
+// DurabilityLog: the seam between the dynamic facades and the persistence
+// layer. A facade with a log attached calls log_batch() for every
+// epoch-advancing operation — apply() on either path, and compact(), which
+// logs an empty batch so the on-disk epoch sequence stays contiguous —
+// after the new epoch is fully staged but *before* it publishes.
+//
+// Contract (redo-log semantics):
+//  * log_batch may throw; the facade then aborts the update with its strong
+//    exception guarantee intact, so a record is only ever durable for an
+//    epoch that was really attempted. The implementation must leave no
+//    partial record behind on throw.
+//  * discard_tail is the compensating action for the one awkward window: if
+//    the publish itself throws *after* log_batch succeeded, the facade
+//    calls discard_tail(epoch) to drop the just-appended record.
+//  * A crash between a successful log_batch and the in-memory publish means
+//    recovery replays a batch the readers never saw — harmless, because
+//    replay applies the same deterministic batch to the same predecessor
+//    state (this is the standard redo contract; see docs/snapshot_format.md).
+//
+// Calls arrive under the facade's writer lock, so implementations need no
+// locking of their own against the same facade.
+#pragma once
+
+#include <cstdint>
+
+#include "dynamic/update_batch.hpp"
+
+namespace wecc::dynamic {
+
+/// A facade's current epoch together with the logical edge set that defines
+/// it — exactly what a checkpoint must serialize.
+struct EpochEdgeList {
+  std::uint64_t epoch = 0;
+  graph::EdgeList edges;
+};
+
+class DurabilityLog {
+ public:
+  virtual ~DurabilityLog() = default;
+
+  /// Make `batch` (advancing to `epoch`) durable. Throws on I/O failure —
+  /// and must leave no partial record behind when it does.
+  virtual void log_batch(std::uint64_t epoch, const UpdateBatch& batch) = 0;
+
+  /// Drop the record just appended for `epoch` (publish failed after
+  /// log_batch succeeded). Best-effort and noexcept: called on an exception
+  /// path that must keep unwinding.
+  virtual void discard_tail(std::uint64_t epoch) noexcept = 0;
+};
+
+}  // namespace wecc::dynamic

@@ -67,6 +67,7 @@
 
 #include "dynamic/biconn_snapshot.hpp"
 #include "dynamic/dirty_tracker.hpp"
+#include "dynamic/durability.hpp"
 #include "dynamic/update_batch.hpp"
 
 namespace wecc::dynamic {
@@ -78,6 +79,9 @@ struct DynamicBiconnOptions {
   /// Overlay delta (arcs added + deleted) that triggers compaction;
   /// 0 = auto: max(32768, n / k).
   std::size_t compact_threshold = 0;
+  /// Epoch number the initial build publishes as. Recovery sets this to the
+  /// loaded snapshot's epoch so replayed WAL records line up; 0 otherwise.
+  std::uint64_t first_epoch = 0;
 };
 
 /// What one apply() did — which path ran and how much it touched.
@@ -105,7 +109,8 @@ class DynamicBiconnectivity {
           32768,
           base_->num_vertices() / std::max<std::size_t>(1, opt_.oracle.k));
     }
-    const BiconnUpdateReport report{0, BiconnUpdateReport::Path::kInitialBuild,
+    const BiconnUpdateReport report{opt_.first_epoch,
+                                    BiconnUpdateReport::Path::kInitialBuild,
                                     0, 0, 0};
     publish_and_commit(stage_full_build(base_), report);
   }
@@ -137,8 +142,24 @@ class DynamicBiconnectivity {
     const std::lock_guard<std::mutex> lock(write_mu_);
     return working_.edge_list();
   }
+  /// The published epoch together with its logical edge set, read as one
+  /// consistent pair under the writer lock — what persist::checkpoint
+  /// serializes.
+  [[nodiscard]] EpochEdgeList epoch_edge_list() const {
+    const std::lock_guard<std::mutex> lock(write_mu_);
+    return {epoch_.load(std::memory_order_acquire), working_.edge_list()};
+  }
   [[nodiscard]] const BiconnSnapshotStore& store() const noexcept {
     return store_;
+  }
+
+  /// Attach (or detach, with nullptr) a durability log. Every subsequent
+  /// epoch-advancing operation logs its batch before publishing; see
+  /// DurabilityLog for the redo contract. The initial build is not logged —
+  /// it is the checkpoint's job to make epoch first_epoch durable.
+  void set_durability_log(std::shared_ptr<DurabilityLog> log) {
+    const std::lock_guard<std::mutex> lock(write_mu_);
+    log_ = std::move(log);
   }
 
   /// Convenience single queries against the current snapshot.
@@ -181,8 +202,7 @@ class DynamicBiconnectivity {
       BiconnPatch staged = patch_;
       if (plan_fast_insert(batch.insertions, staged, report)) {
         report.path = BiconnUpdateReport::Path::kFastInsert;
-        apply_fast_insert(batch.insertions, std::move(staged), report,
-                          measure);
+        apply_fast_insert(batch, std::move(staged), report, measure);
         return report;
       }
       report = BiconnUpdateReport{};  // discard fast-path planning counts
@@ -212,7 +232,7 @@ class DynamicBiconnectivity {
     }();
     if (failure_hook_) failure_hook_(report.path);
     amem::accumulate_phase(phase_name, measure.delta());
-    publish_and_commit(std::move(next), report);
+    log_and_publish(batch, std::move(next), report);
     return report;
   }
 
@@ -240,7 +260,9 @@ class DynamicBiconnectivity {
     Staged next = stage_compaction(working_);
     if (failure_hook_) failure_hook_(report.path);
     amem::accumulate_phase("dynamic_biconn/compaction", measure.delta());
-    publish_and_commit(std::move(next), report);
+    // Compaction advances the epoch without changing the edge set; log an
+    // empty batch so the durable epoch sequence stays contiguous.
+    log_and_publish(UpdateBatch{}, std::move(next), report);
     return report;
   }
 
@@ -329,10 +351,10 @@ class DynamicBiconnectivity {
   /// Commit the planned fast path: mutate working_ in place under a
   /// nothrow undo log, publish, then swap the staged patch in. Mirrors
   /// DynamicConnectivity::apply_fast_insert.
-  void apply_fast_insert(const graph::EdgeList& insertions,
-                         BiconnPatch&& staged,
+  void apply_fast_insert(const UpdateBatch& batch, BiconnPatch&& staged,
                          const BiconnUpdateReport& report,
                          const amem::Phase& measure) {
+    const graph::EdgeList& insertions = batch.insertions;
     OverlayGraph::UndoLog undo;
     try {
       for (const graph::Edge& e : insertions) {
@@ -343,8 +365,14 @@ class DynamicBiconnectivity {
       }
       amem::accumulate_phase("dynamic_biconn/insert_fastpath",
                              measure.delta());
-      store_.publish(
-          std::make_shared<BiconnSnapshot>(report.epoch, state_, staged));
+      if (log_) log_->log_batch(report.epoch, batch);
+      try {
+        store_.publish(
+            std::make_shared<BiconnSnapshot>(report.epoch, state_, staged));
+      } catch (...) {
+        if (log_) log_->discard_tail(report.epoch);
+        throw;
+      }
     } catch (...) {
       working_.undo_inserts(undo);
       working_.sweep_empty_patches(insertions);
@@ -440,6 +468,20 @@ class DynamicBiconnectivity {
     epoch_.store(report.epoch, std::memory_order_release);
   }
 
+  /// Rebuild-path commit with durability: log the batch (may throw — the
+  /// staged epoch is simply dropped, strong guarantee intact), then
+  /// publish; if the publish throws after the append, retract the record.
+  void log_and_publish(const UpdateBatch& batch, Staged&& next,
+                       const BiconnUpdateReport& report) {
+    if (log_) log_->log_batch(report.epoch, batch);
+    try {
+      publish_and_commit(std::move(next), report);
+    } catch (...) {
+      if (log_) log_->discard_tail(report.epoch);
+      throw;
+    }
+  }
+
   DynamicBiconnOptions opt_;
   mutable std::mutex write_mu_;
   std::atomic<std::uint64_t> epoch_{0};
@@ -449,6 +491,7 @@ class DynamicBiconnectivity {
   BiconnPatch patch_;     // pending absorptions relative to state_
   std::shared_ptr<const VersionedBiconnOracle> state_;
   BiconnSnapshotStore store_;
+  std::shared_ptr<DurabilityLog> log_;  // optional; see set_durability_log
   std::function<void(BiconnUpdateReport::Path)> failure_hook_;  // test-only
 };
 

@@ -60,6 +60,7 @@
 #include <vector>
 
 #include "dynamic/dirty_tracker.hpp"
+#include "dynamic/durability.hpp"
 #include "dynamic/snapshot_store.hpp"
 #include "dynamic/update_batch.hpp"
 
@@ -73,6 +74,9 @@ struct DynamicOptions {
   /// 0 = auto: max(32768, n / k) — large enough that a full rebuild is
   /// amortized over many thousands of updates even on small graphs.
   std::size_t compact_threshold = 0;
+  /// Epoch number the initial build publishes as. Recovery sets this to the
+  /// loaded snapshot's epoch so replayed WAL records line up; 0 otherwise.
+  std::uint64_t first_epoch = 0;
 };
 
 class DynamicConnectivity {
@@ -89,7 +93,8 @@ class DynamicConnectivity {
           32768,
           base_->num_vertices() / std::max<std::size_t>(1, opt_.oracle.k));
     }
-    const UpdateReport report{0, UpdateReport::Path::kInitialBuild};
+    const UpdateReport report{opt_.first_epoch,
+                              UpdateReport::Path::kInitialBuild};
     publish_and_commit(stage_full_build(base_), report);
   }
 
@@ -125,7 +130,23 @@ class DynamicConnectivity {
     const std::lock_guard<std::mutex> lock(write_mu_);
     return working_.edge_list();
   }
+  /// The published epoch together with its logical edge set, read as one
+  /// consistent pair under the writer lock — what persist::checkpoint
+  /// serializes.
+  [[nodiscard]] EpochEdgeList epoch_edge_list() const {
+    const std::lock_guard<std::mutex> lock(write_mu_);
+    return {epoch_.load(std::memory_order_acquire), working_.edge_list()};
+  }
   [[nodiscard]] const SnapshotStore& store() const noexcept { return store_; }
+
+  /// Attach (or detach, with nullptr) a durability log. Every subsequent
+  /// epoch-advancing operation logs its batch before publishing; see
+  /// DurabilityLog for the redo contract. The initial build is not logged —
+  /// it is the checkpoint's job to make epoch first_epoch durable.
+  void set_durability_log(std::shared_ptr<DurabilityLog> log) {
+    const std::lock_guard<std::mutex> lock(write_mu_);
+    log_ = std::move(log);
+  }
 
   /// Convenience single queries against the current snapshot.
   [[nodiscard]] bool connected(graph::vertex_id u, graph::vertex_id v) const {
@@ -160,7 +181,7 @@ class DynamicConnectivity {
         working_.delta_after_inserting(batch.insertions) <
             opt_.compact_threshold) {
       report.path = UpdateReport::Path::kFastInsert;
-      apply_fast_insert(batch.insertions, report, measure);
+      apply_fast_insert(batch, report, measure);
       return report;
     }
 
@@ -192,7 +213,7 @@ class DynamicConnectivity {
     // epoch publishes. publish_and_commit performs no counted accesses, so
     // the measured delta is still complete.
     amem::accumulate_phase(phase_name, measure.delta());
-    publish_and_commit(std::move(next), report);
+    log_and_publish(batch, std::move(next), report);
     return report;
   }
 
@@ -219,7 +240,9 @@ class DynamicConnectivity {
     Staged next = stage_compaction(working_);
     if (failure_hook_) failure_hook_(report.path);
     amem::accumulate_phase("dynamic/compaction", measure.delta());
-    publish_and_commit(std::move(next), report);
+    // Compaction advances the epoch without changing the edge set; log an
+    // empty batch so the durable epoch sequence stays contiguous.
+    log_and_publish(UpdateBatch{}, std::move(next), report);
     return report;
   }
 
@@ -253,9 +276,9 @@ class DynamicConnectivity {
   /// mid-insert bad_alloc, the failure hook, phase accounting, snapshot
   /// allocation, or the ring push — unwinds the log and leaves the
   /// previous epoch intact; the commits after publish are all noexcept.
-  void apply_fast_insert(const graph::EdgeList& insertions,
-                         const UpdateReport& report,
+  void apply_fast_insert(const UpdateBatch& batch, const UpdateReport& report,
                          const amem::Phase& measure) {
+    const graph::EdgeList& insertions = batch.insertions;
     LabelPatch patch = patch_;
     const auto& oracle = state_->oracle;
     const auto is_center = [&](graph::vertex_id l) {
@@ -273,8 +296,14 @@ class DynamicConnectivity {
       }
       if (failure_hook_) failure_hook_(UpdateReport::Path::kFastInsert);
       amem::accumulate_phase("dynamic/insert_fastpath", measure.delta());
-      store_.publish(
-          std::make_shared<Snapshot>(report.epoch, state_, patch));
+      if (log_) log_->log_batch(report.epoch, batch);
+      try {
+        store_.publish(
+            std::make_shared<Snapshot>(report.epoch, state_, patch));
+      } catch (...) {
+        if (log_) log_->discard_tail(report.epoch);
+        throw;
+      }
     } catch (...) {
       working_.undo_inserts(undo);
       working_.sweep_empty_patches(insertions);
@@ -424,6 +453,20 @@ class DynamicConnectivity {
     epoch_.store(report.epoch, std::memory_order_release);
   }
 
+  /// Rebuild-path commit with durability: log the batch (may throw — the
+  /// staged epoch is simply dropped, strong guarantee intact), then
+  /// publish; if the publish throws after the append, retract the record.
+  void log_and_publish(const UpdateBatch& batch, Staged&& next,
+                       const UpdateReport& report) {
+    if (log_) log_->log_batch(report.epoch, batch);
+    try {
+      publish_and_commit(std::move(next), report);
+    } catch (...) {
+      if (log_) log_->discard_tail(report.epoch);
+      throw;
+    }
+  }
+
   DynamicOptions opt_;
   mutable std::mutex write_mu_;
   std::atomic<std::uint64_t> epoch_{0};
@@ -433,6 +476,7 @@ class DynamicConnectivity {
   LabelPatch patch_;      // pending merges relative to state_'s labels
   std::shared_ptr<const VersionedOracle> state_;
   SnapshotStore store_;
+  std::shared_ptr<DurabilityLog> log_;  // optional; see set_durability_log
   std::function<void(UpdateReport::Path)> failure_hook_;  // test-only
 };
 

@@ -14,11 +14,12 @@
 #pragma once
 
 #include <algorithm>
-#include <cassert>
 #include <cstdint>
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -146,16 +147,45 @@ class Snapshot {
 template <typename SnapT>
 class SnapshotStoreT {
  public:
+  /// Counters for observability: how the ring has been used since
+  /// construction. `pinned_evicted` counts evictions where a reader still
+  /// held the snapshot (it lived on outside the ring) — a sustained nonzero
+  /// rate is the signal to raise snapshot_capacity.
+  struct RingStats {
+    std::size_t size = 0;
+    std::size_t capacity = 0;
+    std::uint64_t published = 0;
+    std::uint64_t evicted = 0;
+    std::uint64_t pinned_evicted = 0;
+  };
+
   explicit SnapshotStoreT(std::size_t capacity)
       : capacity_(capacity == 0 ? 1 : capacity) {}
 
-  /// Epochs must be published in increasing order (at_epoch binary-searches
-  /// the ring on that invariant; the single serialized writer guarantees it).
+  /// Epochs must be published in increasing order: at_epoch binary-searches
+  /// the ring on that invariant, and every durability consumer (WAL epoch
+  /// framing, snapshot filenames) builds on it. The single serialized
+  /// writer guarantees it in correct use; a violation is a logic error in
+  /// the caller and is rejected unconditionally — in release builds too —
+  /// because publishing out of order would silently corrupt every
+  /// at_epoch() answer thereafter.
   void publish(std::shared_ptr<const SnapT> snap) {
     const std::lock_guard<std::mutex> lock(mu_);
-    assert(ring_.empty() || snap->epoch() > ring_.back()->epoch());
+    if (!ring_.empty() && snap->epoch() <= ring_.back()->epoch()) {
+      throw std::logic_error(
+          "SnapshotStore::publish: non-monotone epoch " +
+          std::to_string(snap->epoch()) + " after " +
+          std::to_string(ring_.back()->epoch()));
+    }
     ring_.push_back(std::move(snap));
-    while (ring_.size() > capacity_) ring_.pop_front();
+    ++published_;
+    while (ring_.size() > capacity_) {
+      // use_count == 1 means only the ring holds it; more means a reader
+      // has it pinned and the snapshot outlives its eviction.
+      if (ring_.front().use_count() > 1) ++pinned_evicted_;
+      ring_.pop_front();
+      ++evicted_;
+    }
   }
 
   /// Latest snapshot (never null once the owner published epoch 0).
@@ -193,10 +223,19 @@ class SnapshotStoreT {
     return out;
   }
 
+  [[nodiscard]] RingStats stats() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return RingStats{ring_.size(), capacity_, published_, evicted_,
+                     pinned_evicted_};
+  }
+
  private:
   mutable std::mutex mu_;
   std::deque<std::shared_ptr<const SnapT>> ring_;
   std::size_t capacity_;
+  std::uint64_t published_ = 0;
+  std::uint64_t evicted_ = 0;
+  std::uint64_t pinned_evicted_ = 0;
 };
 
 using SnapshotStore = SnapshotStoreT<Snapshot>;

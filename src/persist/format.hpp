@@ -1,0 +1,114 @@
+// On-disk layout of the durability subsystem (spec: docs/snapshot_format.md).
+//
+// Two artifact families share one integrity discipline (explicit sizes +
+// CRC-32 over every byte that matters, little-endian, 8-byte alignment):
+//
+//  * Snapshot files (`snap-<kind>-<epoch:016x>.wsnp`) — one epoch's full
+//    query state, written atomically (tmp + rename) and read back zero-copy
+//    via mmap. A fixed 64-byte header, a section table, then 8-byte-aligned
+//    sections: the CSR edge structure plus the query-ready label arrays.
+//  * WAL segments (`wal-<seq:08>.log`) — a 16-byte segment header followed
+//    by framed update-batch records, each covered by its own CRC so a torn
+//    or bit-flipped tail is detected and truncated, never replayed.
+//
+// Versioning/compat rule: `version` is bumped on any layout change; readers
+// reject files whose magic or version they do not know (no silent
+// best-effort parsing of future formats). Unknown *section ids* in a
+// current-version snapshot are ignored, so additive sections do not need a
+// version bump.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace wecc::persist {
+
+// The format is defined little-endian and the readers cast mmap'd bytes in
+// place; refuse to compile on a big-endian target rather than silently
+// writing files no other host can read.
+static_assert(std::endian::native == std::endian::little,
+              "wecc persist: on-disk format is little-endian; add byte "
+              "swapping before porting to a big-endian target");
+
+// "WECCSNP1", "WECCWAL1", "WREC"
+inline constexpr std::uint64_t kSnapshotMagic = 0x31504E5343434557ull;
+inline constexpr std::uint64_t kWalSegmentMagic = 0x314C415743434557ull;
+inline constexpr std::uint32_t kWalRecordMagic = 0x43455257u;
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// Which query surface a snapshot file carries.
+enum class SnapshotKind : std::uint32_t {
+  kConnectivity = 0,    // CSR + component labels
+  kBiconnectivity = 1,  // CSR + full biconnectivity query state
+};
+
+/// Section ids (fixed-width payloads; see docs/snapshot_format.md).
+enum class SectionId : std::uint32_t {
+  kCsrOffsets = 1,    // (n+1) x u64 — CSR row offsets into kCsrAdj
+  kCsrAdj = 2,        // u32 arcs, both directions, sorted per vertex
+  kCcLabels = 3,      // n x u32 — connected-component label per vertex
+  kTeccLabels = 4,    // n x u32 — 2-edge-connected label (biconn only)
+  kArticBits = 5,     // ceil(n/8) bytes — articulation bitmap (biconn only)
+  kBridgeKeys = 6,    // sorted u64 canonical edge keys (biconn only)
+  kBlockOffsets = 7,  // (n+1) x u64 — per-vertex block-id rows (biconn only)
+  kBlockIds = 8,      // u32 block ids, sorted per vertex (biconn only)
+};
+
+/// Fixed file header. `header_crc` covers the 44 header bytes before it
+/// *chained with the entire section table* (which immediately follows the
+/// header), and every table entry's `crc` covers its section's bytes — so
+/// any bit flip in header, table (reserved fields included), or payload is
+/// caught before a single field is trusted.
+struct SnapshotHeader {
+  std::uint64_t magic = kSnapshotMagic;
+  std::uint32_t version = kFormatVersion;
+  std::uint32_t kind = 0;  // SnapshotKind
+  std::uint64_t epoch = 0;
+  std::uint64_t n = 0;  // vertices
+  std::uint64_t m = 0;  // undirected edges, multiplicities expanded
+  std::uint32_t section_count = 0;
+  std::uint32_t header_crc = 0;  // crc32 of bytes [0, 44) + section table
+  std::uint8_t reserved[16] = {};
+};
+static_assert(sizeof(SnapshotHeader) == 64,
+              "header layout is part of the format");
+
+/// One section-table entry. `offset` is from file start, 8-byte aligned so
+/// u64 sections can be cast in place from the mapping.
+struct SectionEntry {
+  std::uint32_t id = 0;  // SectionId
+  std::uint32_t reserved = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;  // bytes
+  std::uint32_t crc = 0;     // crc32 of the section payload
+  std::uint32_t reserved2 = 0;
+};
+static_assert(sizeof(SectionEntry) == 32, "table layout is part of the format");
+
+/// WAL segment header (once per segment file).
+struct WalSegmentHeader {
+  std::uint64_t magic = kWalSegmentMagic;
+  std::uint32_t version = kFormatVersion;
+  std::uint32_t reserved = 0;
+};
+static_assert(sizeof(WalSegmentHeader) == 16,
+              "segment layout is part of the format");
+
+/// WAL record framing: this header, then `payload_len` bytes of payload
+/// (n_ins then n_del (u32,u32) endpoint pairs), then a u32 CRC-32 covering
+/// header + payload. `payload_len` is redundant with the counts on purpose:
+/// the reader cross-checks them before trusting either.
+struct WalRecordHeader {
+  std::uint32_t magic = kWalRecordMagic;
+  std::uint32_t payload_len = 0;  // 8 * (n_ins + n_del)
+  std::uint64_t epoch = 0;
+  std::uint32_t n_ins = 0;
+  std::uint32_t n_del = 0;
+};
+static_assert(sizeof(WalRecordHeader) == 24,
+              "record layout is part of the format");
+
+inline constexpr std::size_t kWalRecordOverhead =
+    sizeof(WalRecordHeader) + sizeof(std::uint32_t);  // header + trailing crc
+
+}  // namespace wecc::persist

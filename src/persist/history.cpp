@@ -1,0 +1,145 @@
+#include "persist/history.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "dynamic/overlay_graph.hpp"  // edge_key
+#include "persist/wal.hpp"
+
+namespace wecc::persist {
+
+namespace {
+
+/// Edge multiset as canonical-key counts (parallel edges with one key are
+/// interchangeable for every query the derived state answers).
+using EdgeCounts = std::unordered_map<std::uint64_t, std::uint32_t>;
+
+EdgeCounts count_edges(const graph::EdgeList& edges) {
+  EdgeCounts counts;
+  counts.reserve(edges.size());
+  for (const graph::Edge& e : edges) ++counts[dynamic::edge_key(e.u, e.v)];
+  return counts;
+}
+
+graph::Edge decode_key(std::uint64_t key) {
+  return {graph::vertex_id(key >> 32),
+          graph::vertex_id(key & 0xFFFFFFFFull)};
+}
+
+/// Materialize the counts back into a deterministic (key-sorted) edge
+/// list, so a reconstructed epoch is identical however it was reached.
+graph::EdgeList materialize(const EdgeCounts& counts) {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(counts.size());
+  for (const auto& [k, c] : counts) {
+    if (c > 0) keys.push_back(k);
+  }
+  std::sort(keys.begin(), keys.end());
+  graph::EdgeList edges;
+  for (const std::uint64_t k : keys) {
+    const graph::Edge e = decode_key(k);
+    for (std::uint32_t i = 0; i < counts.at(k); ++i) edges.push_back(e);
+  }
+  return edges;
+}
+
+}  // namespace
+
+EpochHistory::EpochHistory(const std::string& dir, SnapshotKind kind)
+    : dir_(dir), kind_(kind) {
+  bool have_min = false;
+  for (const SnapshotFileInfo& info : list_snapshots(dir)) {
+    if (info.kind != kind) continue;
+    snapshots_.emplace(info.epoch, info.path);
+    if (!have_min) {
+      min_epoch_ = info.epoch;
+      have_min = true;
+    }
+    max_epoch_ = std::max(max_epoch_, info.epoch);
+  }
+  if (!have_min) {
+    throw std::runtime_error("persist: no snapshot history in '" + dir + "'");
+  }
+  Wal::replay(dir, 0,
+              [&](std::uint64_t epoch, const dynamic::UpdateBatch& batch) {
+                batches_.emplace(epoch, batch);
+                max_epoch_ = std::max(max_epoch_, epoch);
+              });
+  // Anchor n on the newest snapshot (all epochs share the vertex set).
+  n_ = SnapshotReader::open(snapshots_.rbegin()->second).num_vertices();
+}
+
+std::shared_ptr<const HistoricView> EpochHistory::at(
+    std::uint64_t epoch) const {
+  if (epoch < min_epoch_ || epoch > max_epoch_) {
+    throw std::out_of_range("persist: epoch " + std::to_string(epoch) +
+                            " outside durable history [" +
+                            std::to_string(min_epoch_) + ", " +
+                            std::to_string(max_epoch_) + "]");
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (const auto it = cache_.find(epoch); it != cache_.end()) {
+    return it->second;
+  }
+
+  // Newest valid snapshot at or below `epoch`; corrupt candidates fall
+  // back to the next older one, which just lengthens the replay.
+  auto it = snapshots_.upper_bound(epoch);
+  std::optional<SnapshotReader> base;
+  while (it != snapshots_.begin()) {
+    --it;
+    try {
+      base.emplace(SnapshotReader::open(it->second));
+      break;
+    } catch (const std::runtime_error&) {
+      base.reset();
+    }
+  }
+  if (!base) {
+    throw std::runtime_error(
+        "persist: every snapshot at or below epoch " +
+        std::to_string(epoch) + " in '" + dir_ + "' is corrupt");
+  }
+
+  std::shared_ptr<const HistoricView> view;
+  if (base->epoch() == epoch) {
+    view = std::make_shared<HistoricView>(std::move(*base));
+  } else {
+    EdgeCounts counts = count_edges(base->edge_list());
+    for (std::uint64_t e = base->epoch() + 1; e <= epoch; ++e) {
+      const auto bit = batches_.find(e);
+      if (bit == batches_.end()) continue;  // compaction gap: edges as-is
+      for (const graph::Edge& ed : bit->second.insertions) {
+        ++counts[dynamic::edge_key(ed.u, ed.v)];
+      }
+      for (const graph::Edge& ed : bit->second.deletions) {
+        const auto cit = counts.find(dynamic::edge_key(ed.u, ed.v));
+        if (cit != counts.end() && cit->second > 0) --cit->second;
+      }
+    }
+    view = std::make_shared<HistoricView>(
+        epoch, DerivedState::compute(
+                   n_, materialize(counts),
+                   kind_ == SnapshotKind::kBiconnectivity));
+  }
+  cache_.emplace(epoch, view);
+  return view;
+}
+
+graph::EdgeList EpochHistory::bridges_appeared(std::uint64_t e1,
+                                               std::uint64_t e2) const {
+  const std::shared_ptr<const HistoricView> v1 = at(e1);
+  const std::shared_ptr<const HistoricView> v2 = at(e2);
+  const auto k1 = v1->view().bridge_keys;
+  const auto k2 = v2->view().bridge_keys;
+  std::vector<std::uint64_t> fresh;
+  std::set_difference(k2.begin(), k2.end(), k1.begin(), k1.end(),
+                      std::back_inserter(fresh));
+  graph::EdgeList out;
+  out.reserve(fresh.size());
+  for (const std::uint64_t k : fresh) out.push_back(decode_key(k));
+  return out;
+}
+
+}  // namespace wecc::persist

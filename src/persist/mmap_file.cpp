@@ -1,0 +1,88 @@
+#include "persist/mmap_file.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "amem/counters.hpp"
+
+namespace wecc::persist {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error(what + " '" + path + "': " + std::strerror(errno));
+}
+
+/// RAII fd so every error path below closes what it opened.
+struct Fd {
+  int fd = -1;
+  ~Fd() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+}  // namespace
+
+MappedFile MappedFile::open(const std::string& path) {
+  Fd f{::open(path.c_str(), O_RDONLY | O_CLOEXEC)};
+  if (f.fd < 0) fail("persist: cannot open", path);
+  struct stat st{};
+  if (::fstat(f.fd, &st) != 0) fail("persist: cannot stat", path);
+  MappedFile out;
+  out.size_ = std::size_t(st.st_size);
+  if (out.size_ == 0) return out;  // empty file: empty span, nothing mapped
+  void* p = ::mmap(nullptr, out.size_, PROT_READ, MAP_SHARED, f.fd, 0);
+  if (p == MAP_FAILED) fail("persist: cannot mmap", path);
+  out.data_ = static_cast<const std::byte*>(p);
+  return out;
+}
+
+void MappedFile::unmap() noexcept {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<std::byte*>(data_), size_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+}
+
+void write_file_atomic(const std::string& path,
+                       std::span<const std::byte> bytes) {
+  const std::string tmp = path + ".tmp";
+  {
+    Fd f{::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644)};
+    if (f.fd < 0) fail("persist: cannot create", tmp);
+    const std::byte* p = bytes.data();
+    std::size_t left = bytes.size();
+    while (left > 0) {
+      const ssize_t w = ::write(f.fd, p, left);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        fail("persist: write failed for", tmp);
+      }
+      p += w;
+      left -= std::size_t(w);
+    }
+    if (::fsync(f.fd) != 0) fail("persist: fsync failed for", tmp);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    fail("persist: rename failed for", path);
+  }
+  // fsync the directory so the rename itself is durable.
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  Fd d{::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC)};
+  if (d.fd >= 0) ::fsync(d.fd);
+  amem::count_storage_write(bytes.size());
+  amem::count_storage_fsync();  // file
+  amem::count_storage_fsync();  // directory
+}
+
+}  // namespace wecc::persist

@@ -1,0 +1,65 @@
+// POSIX file plumbing for the persistence layer:
+//
+//  * MappedFile — RAII read-only mmap (MAP_SHARED, so N reader processes
+//    opening the same snapshot share one page-cache copy — the multi-process
+//    serving story the snapshot format exists for).
+//  * write_file_atomic — write-tmp + fsync + rename + fsync-dir, so a crash
+//    mid-write can never leave a half-written file under the final name
+//    (recovery additionally checksums everything it reads; this keeps torn
+//    snapshots from even becoming candidates).
+//
+// Both charge the amem storage channel for what actually hits disk.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+
+namespace wecc::persist {
+
+/// Read-only memory mapping of a whole file. Move-only; unmaps on
+/// destruction. Zero-length files map to an empty span.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  MappedFile(MappedFile&& o) noexcept
+      : data_(std::exchange(o.data_, nullptr)),
+        size_(std::exchange(o.size_, 0)) {}
+  MappedFile& operator=(MappedFile&& o) noexcept {
+    if (this != &o) {
+      unmap();
+      data_ = std::exchange(o.data_, nullptr);
+      size_ = std::exchange(o.size_, 0);
+    }
+    return *this;
+  }
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile() { unmap(); }
+
+  /// Map `path` read-only; throws std::runtime_error on any failure.
+  static MappedFile open(const std::string& path);
+
+  [[nodiscard]] const std::byte* data() const noexcept { return data_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::span<const std::byte> bytes() const noexcept {
+    return {data_, size_};
+  }
+
+ private:
+  void unmap() noexcept;
+
+  const std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// Durably write `bytes` under `path`: write `path.tmp`, fsync it, rename
+/// over `path`, fsync the parent directory. Throws std::runtime_error on
+/// any failure (leaving at worst a stale .tmp behind, never a torn final
+/// file). Charges the storage channel for the payload and both fsyncs.
+void write_file_atomic(const std::string& path,
+                       std::span<const std::byte> bytes);
+
+}  // namespace wecc::persist

@@ -1,0 +1,88 @@
+#include "persist/recovery.hpp"
+
+#include <stdexcept>
+
+#include "persist/snapshot.hpp"
+#include "persist/wal.hpp"
+
+namespace wecc::persist {
+
+namespace {
+
+/// Newest snapshot of `kind` that passes full validation; corrupt
+/// candidates are counted into `stats` and skipped.
+SnapshotReader open_newest_valid(const std::string& dir, SnapshotKind kind,
+                                 RecoveryStats& stats) {
+  const std::vector<SnapshotFileInfo> all = list_snapshots(dir);
+  for (auto it = all.rbegin(); it != all.rend(); ++it) {
+    if (it->kind != kind) continue;
+    try {
+      SnapshotReader reader = SnapshotReader::open(it->path);
+      stats.snapshot_path = it->path;
+      stats.snapshot_epoch = reader.epoch();
+      return reader;
+    } catch (const std::runtime_error&) {
+      ++stats.invalid_snapshots;
+    }
+  }
+  throw std::runtime_error(
+      "persist: no valid snapshot to recover from in '" + dir +
+      "' (checkpoint first; " + std::to_string(stats.invalid_snapshots) +
+      " corrupt candidate(s) skipped)");
+}
+
+/// Replay the WAL tail into a freshly built facade. Epoch bookkeeping:
+/// the facade starts at the snapshot epoch, every applied batch advances
+/// it by one, and the log was written contiguously — but replay tolerates
+/// gaps (filled with empty batches) and stale records (skipped) rather
+/// than trusting the disk to be perfect.
+template <typename Facade>
+void replay_tail(const std::string& dir, Facade& facade,
+                 RecoveryStats& stats) {
+  const Wal::ReplayStats rs = Wal::replay(
+      dir, stats.snapshot_epoch,
+      [&](std::uint64_t epoch, const dynamic::UpdateBatch& batch) {
+        while (facade.epoch() + 1 < epoch) {
+          facade.apply(dynamic::UpdateBatch{});
+        }
+        if (epoch != facade.epoch() + 1) {
+          ++stats.skipped_records;
+          return;
+        }
+        facade.apply(batch);
+        ++stats.replayed_batches;
+      });
+  stats.skipped_records += rs.skipped;
+  stats.truncated_bytes = rs.truncated_bytes;
+  stats.recovered_epoch = facade.epoch();
+}
+
+}  // namespace
+
+RecoveredConnectivity RecoveryManager::recover_connectivity(
+    dynamic::DynamicOptions opt) const {
+  RecoveredConnectivity out;
+  const SnapshotReader reader =
+      open_newest_valid(dir_, SnapshotKind::kConnectivity, out.stats);
+  opt.first_epoch = reader.epoch();
+  out.facade = std::make_unique<dynamic::DynamicConnectivity>(
+      graph::Graph::from_edges(reader.num_vertices(), reader.edge_list()),
+      opt);
+  replay_tail(dir_, *out.facade, out.stats);
+  return out;
+}
+
+RecoveredBiconnectivity RecoveryManager::recover_biconnectivity(
+    dynamic::DynamicBiconnOptions opt) const {
+  RecoveredBiconnectivity out;
+  const SnapshotReader reader =
+      open_newest_valid(dir_, SnapshotKind::kBiconnectivity, out.stats);
+  opt.first_epoch = reader.epoch();
+  out.facade = std::make_unique<dynamic::DynamicBiconnectivity>(
+      graph::Graph::from_edges(reader.num_vertices(), reader.edge_list()),
+      opt);
+  replay_tail(dir_, *out.facade, out.stats);
+  return out;
+}
+
+}  // namespace wecc::persist

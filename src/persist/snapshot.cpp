@@ -1,0 +1,308 @@
+#include "persist/snapshot.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+
+#include "dynamic/dynamic_biconnectivity.hpp"
+#include "dynamic/dynamic_connectivity.hpp"
+#include "persist/crc32.hpp"
+
+namespace wecc::persist {
+
+namespace {
+
+constexpr const char* kConnPrefix = "snap-conn-";
+constexpr const char* kBiconnPrefix = "snap-biconn-";
+constexpr const char* kSuffix = ".wsnp";
+constexpr std::size_t kEpochDigits = 16;
+
+std::string epoch_hex(std::uint64_t epoch) {
+  static const char* kHex = "0123456789abcdef";
+  std::string s(kEpochDigits, '0');
+  for (std::size_t i = 0; i < kEpochDigits; ++i) {
+    s[kEpochDigits - 1 - i] = kHex[(epoch >> (4 * i)) & 0xFu];
+  }
+  return s;
+}
+
+/// Parse `name` as a snapshot filename; false if it is anything else.
+bool parse_snapshot_name(const std::string& name, SnapshotKind* kind,
+                         std::uint64_t* epoch) {
+  std::string_view rest(name);
+  if (rest.starts_with(kConnPrefix)) {
+    *kind = SnapshotKind::kConnectivity;
+    rest.remove_prefix(std::strlen(kConnPrefix));
+  } else if (rest.starts_with(kBiconnPrefix)) {
+    *kind = SnapshotKind::kBiconnectivity;
+    rest.remove_prefix(std::strlen(kBiconnPrefix));
+  } else {
+    return false;
+  }
+  if (rest.size() != kEpochDigits + std::strlen(kSuffix) ||
+      !rest.ends_with(kSuffix)) {
+    return false;
+  }
+  rest.remove_suffix(std::strlen(kSuffix));
+  const auto [ptr, ec] =
+      std::from_chars(rest.data(), rest.data() + rest.size(), *epoch, 16);
+  return ec == std::errc{} && ptr == rest.data() + rest.size();
+}
+
+std::size_t align8(std::size_t x) { return (x + 7) & ~std::size_t{7}; }
+
+struct SectionPlan {
+  SectionId id;
+  const void* data;
+  std::size_t len;
+};
+
+void append_bytes(std::vector<std::byte>& buf, const void* src,
+                  std::size_t len) {
+  const auto* p = static_cast<const std::byte*>(src);
+  buf.insert(buf.end(), p, p + len);
+}
+
+[[noreturn]] void corrupt(const std::string& path, const std::string& what) {
+  throw std::runtime_error("persist: snapshot '" + path + "': " + what);
+}
+
+}  // namespace
+
+std::string snapshot_filename(SnapshotKind kind, std::uint64_t epoch) {
+  const char* prefix =
+      kind == SnapshotKind::kConnectivity ? kConnPrefix : kBiconnPrefix;
+  return prefix + epoch_hex(epoch) + kSuffix;
+}
+
+void ensure_directory(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    throw std::runtime_error("persist: cannot create directory '" + dir +
+                             "': " + ec.message());
+  }
+}
+
+std::vector<SnapshotFileInfo> list_snapshots(const std::string& dir) {
+  std::vector<SnapshotFileInfo> out;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) return out;  // missing directory: nothing durable yet
+  for (const auto& entry : it) {
+    if (!entry.is_regular_file(ec)) continue;
+    SnapshotFileInfo info;
+    if (!parse_snapshot_name(entry.path().filename().string(), &info.kind,
+                             &info.epoch)) {
+      continue;
+    }
+    info.path = entry.path().string();
+    out.push_back(std::move(info));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SnapshotFileInfo& a, const SnapshotFileInfo& b) {
+              return a.epoch < b.epoch;
+            });
+  return out;
+}
+
+std::string SnapshotWriter::write(const std::string& dir, SnapshotKind kind,
+                                  std::uint64_t epoch, std::size_t n,
+                                  const graph::EdgeList& edges) {
+  ensure_directory(dir);
+  const bool biconn = kind == SnapshotKind::kBiconnectivity;
+  const DerivedState derived = DerivedState::compute(n, edges, biconn);
+  const QueryView& v = derived.view();
+
+  std::vector<SectionPlan> sections = {
+      {SectionId::kCsrOffsets, v.csr_offsets.data(),
+       v.csr_offsets.size_bytes()},
+      {SectionId::kCsrAdj, v.csr_adj.data(), v.csr_adj.size_bytes()},
+      {SectionId::kCcLabels, v.cc_label.data(), v.cc_label.size_bytes()},
+  };
+  if (biconn) {
+    sections.push_back({SectionId::kTeccLabels, v.tecc_label.data(),
+                        v.tecc_label.size_bytes()});
+    sections.push_back({SectionId::kArticBits, v.artic_bits.data(),
+                        v.artic_bits.size_bytes()});
+    sections.push_back({SectionId::kBridgeKeys, v.bridge_keys.data(),
+                        v.bridge_keys.size_bytes()});
+    sections.push_back({SectionId::kBlockOffsets, v.block_offsets.data(),
+                        v.block_offsets.size_bytes()});
+    sections.push_back({SectionId::kBlockIds, v.block_ids.data(),
+                        v.block_ids.size_bytes()});
+  }
+
+  SnapshotHeader header;
+  header.kind = std::uint32_t(kind);
+  header.epoch = epoch;
+  header.n = n;
+  header.m = edges.size();
+  header.section_count = std::uint32_t(sections.size());
+
+  std::vector<SectionEntry> table(sections.size());
+  std::size_t offset =
+      align8(sizeof(SnapshotHeader) + sections.size() * sizeof(SectionEntry));
+  for (std::size_t i = 0; i < sections.size(); ++i) {
+    table[i].id = std::uint32_t(sections[i].id);
+    table[i].offset = offset;
+    table[i].length = sections[i].len;
+    table[i].crc = crc32(sections[i].data, sections[i].len);
+    offset = align8(offset + sections[i].len);
+  }
+  // The header CRC chains over the section table so flips in *any* table
+  // byte (reserved fields included) are caught, not just ones that break a
+  // bounds check or a payload CRC.
+  header.header_crc = crc32(table.data(), table.size() * sizeof(SectionEntry),
+                            crc32(&header, 44));
+
+  std::vector<std::byte> buf;
+  buf.reserve(offset);
+  append_bytes(buf, &header, sizeof(header));
+  append_bytes(buf, table.data(), table.size() * sizeof(SectionEntry));
+  for (std::size_t i = 0; i < sections.size(); ++i) {
+    buf.resize(table[i].offset);  // zero padding up to the aligned offset
+    append_bytes(buf, sections[i].data, sections[i].len);
+  }
+
+  const std::string path =
+      dir + (dir.ends_with('/') ? "" : "/") + snapshot_filename(kind, epoch);
+  write_file_atomic(path, buf);
+  return path;
+}
+
+SnapshotReader SnapshotReader::open(const std::string& path) {
+  SnapshotReader r;
+  r.map_ = MappedFile::open(path);
+  const std::byte* base = r.map_.data();
+  const std::size_t size = r.map_.size();
+  if (size < sizeof(SnapshotHeader)) corrupt(path, "shorter than header");
+
+  SnapshotHeader header;
+  std::memcpy(&header, base, sizeof(header));
+  if (header.magic != kSnapshotMagic) corrupt(path, "bad magic");
+  if (header.version != kFormatVersion) {
+    corrupt(path, "unknown version " + std::to_string(header.version));
+  }
+  if (header.kind > std::uint32_t(SnapshotKind::kBiconnectivity)) {
+    corrupt(path, "unknown kind " + std::to_string(header.kind));
+  }
+  // Bounds-check the table extent before trusting section_count enough to
+  // read the table; the chained CRC then vouches for every header and
+  // table byte at once (a flipped section_count fails it too).
+  const std::size_t table_end =
+      sizeof(SnapshotHeader) + header.section_count * sizeof(SectionEntry);
+  if (table_end > size) corrupt(path, "section table past end of file");
+  if (header.header_crc !=
+      crc32(base + sizeof(SnapshotHeader),
+            header.section_count * sizeof(SectionEntry), crc32(&header, 44))) {
+    corrupt(path, "header checksum mismatch");
+  }
+
+  r.kind_ = SnapshotKind(header.kind);
+  r.epoch_ = header.epoch;
+  r.n_ = header.n;
+  r.m_ = header.m;
+  const std::size_t n = header.n;
+
+  // Walk the table: bounds, alignment, payload CRC; then bind each known
+  // section into the view after checking its exact expected length.
+  // Unknown section ids are skipped (additive format evolution).
+  for (std::uint32_t i = 0; i < header.section_count; ++i) {
+    SectionEntry e;
+    std::memcpy(&e, base + sizeof(SnapshotHeader) + i * sizeof(SectionEntry),
+                sizeof(e));
+    if (e.offset % 8 != 0) corrupt(path, "misaligned section");
+    if (e.offset > size || e.length > size - e.offset) {
+      corrupt(path, "section past end of file");
+    }
+    if (e.crc != crc32(base + e.offset, e.length)) {
+      corrupt(path, "section checksum mismatch (id " + std::to_string(e.id) +
+                        ")");
+    }
+    const std::byte* p = base + e.offset;
+    const auto expect = [&](std::size_t want, const char* what) {
+      if (e.length != want) {
+        corrupt(path, std::string("wrong length for ") + what);
+      }
+    };
+    switch (SectionId(e.id)) {
+      case SectionId::kCsrOffsets:
+        expect((n + 1) * 8, "csr offsets");
+        r.view_.csr_offsets = {
+            reinterpret_cast<const std::uint64_t*>(p), n + 1};
+        break;
+      case SectionId::kCsrAdj:
+        if (e.length % 4 != 0) corrupt(path, "wrong length for csr adj");
+        r.view_.csr_adj = {reinterpret_cast<const std::uint32_t*>(p),
+                           e.length / 4};
+        break;
+      case SectionId::kCcLabels:
+        expect(n * 4, "cc labels");
+        r.view_.cc_label = {reinterpret_cast<const std::uint32_t*>(p), n};
+        break;
+      case SectionId::kTeccLabels:
+        expect(n * 4, "tecc labels");
+        r.view_.tecc_label = {reinterpret_cast<const std::uint32_t*>(p), n};
+        break;
+      case SectionId::kArticBits:
+        expect((n + 7) / 8, "articulation bitmap");
+        r.view_.artic_bits = {reinterpret_cast<const std::uint8_t*>(p),
+                              (n + 7) / 8};
+        break;
+      case SectionId::kBridgeKeys:
+        if (e.length % 8 != 0) corrupt(path, "wrong length for bridge keys");
+        r.view_.bridge_keys = {reinterpret_cast<const std::uint64_t*>(p),
+                               e.length / 8};
+        break;
+      case SectionId::kBlockOffsets:
+        expect((n + 1) * 8, "block offsets");
+        r.view_.block_offsets = {
+            reinterpret_cast<const std::uint64_t*>(p), n + 1};
+        break;
+      case SectionId::kBlockIds:
+        if (e.length % 4 != 0) corrupt(path, "wrong length for block ids");
+        r.view_.block_ids = {reinterpret_cast<const std::uint32_t*>(p),
+                             e.length / 4};
+        break;
+      default:
+        break;  // future additive section: validated above, ignored here
+    }
+  }
+
+  const bool conn_complete = r.view_.csr_offsets.size() == n + 1 &&
+                             r.view_.cc_label.size() == n &&
+                             !r.view_.csr_offsets.empty();
+  if (!conn_complete) corrupt(path, "missing connectivity sections");
+  if (r.view_.csr_offsets.back() != r.view_.csr_adj.size()) {
+    corrupt(path, "csr offsets inconsistent with adjacency length");
+  }
+  if (r.kind_ == SnapshotKind::kBiconnectivity) {
+    const bool biconn_complete = r.view_.tecc_label.size() == n &&
+                                 r.view_.artic_bits.size() == (n + 7) / 8 &&
+                                 r.view_.block_offsets.size() == n + 1;
+    if (!biconn_complete) corrupt(path, "missing biconnectivity sections");
+    if (r.view_.block_offsets.back() != r.view_.block_ids.size()) {
+      corrupt(path, "block offsets inconsistent with block-id length");
+    }
+  }
+  return r;
+}
+
+std::string checkpoint(const std::string& dir,
+                       const dynamic::DynamicConnectivity& facade) {
+  const dynamic::EpochEdgeList ee = facade.epoch_edge_list();
+  return SnapshotWriter::write(dir, SnapshotKind::kConnectivity, ee.epoch,
+                               facade.num_vertices(), ee.edges);
+}
+
+std::string checkpoint(const std::string& dir,
+                       const dynamic::DynamicBiconnectivity& facade) {
+  const dynamic::EpochEdgeList ee = facade.epoch_edge_list();
+  return SnapshotWriter::write(dir, SnapshotKind::kBiconnectivity, ee.epoch,
+                               facade.num_vertices(), ee.edges);
+}
+
+}  // namespace wecc::persist

@@ -1,0 +1,114 @@
+// Snapshot files: one epoch's full query state, durable and zero-copy.
+//
+//  * SnapshotWriter — derive the query-ready arrays from (n, edge list)
+//    with the shared DerivedState engine and serialize them (header +
+//    section table + 8-byte-aligned sections, everything CRC'd) through
+//    write_file_atomic, so a crash mid-checkpoint never leaves a torn file
+//    under the final name.
+//  * SnapshotReader — mmap a snapshot and validate *everything* (magic,
+//    version, header CRC, table bounds, section alignment and CRCs, and
+//    the per-kind completeness of the section set) before exposing a
+//    QueryView whose spans point straight into the mapping: queries read
+//    the page cache, no deserialization, no allocation.
+//  * checkpoint() — serialize a live facade's latest published epoch
+//    (epoch + logical edge set, read as one consistent pair).
+//
+// File naming is part of the recovery protocol: `snap-conn-<epoch:016x>.wsnp`
+// / `snap-biconn-<epoch:016x>.wsnp`, so a lexicographic sort of names is an
+// epoch sort and RecoveryManager can pick the newest candidate without
+// opening every file.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "persist/derived.hpp"
+#include "persist/format.hpp"
+#include "persist/mmap_file.hpp"
+
+namespace wecc::dynamic {
+class DynamicConnectivity;
+class DynamicBiconnectivity;
+}  // namespace wecc::dynamic
+
+namespace wecc::persist {
+
+/// `snap-conn-<epoch:016x>.wsnp` / `snap-biconn-<epoch:016x>.wsnp`.
+[[nodiscard]] std::string snapshot_filename(SnapshotKind kind,
+                                            std::uint64_t epoch);
+
+/// Create `dir` (and parents) if missing; throws std::runtime_error on
+/// failure. Shared by the snapshot writer and the WAL.
+void ensure_directory(const std::string& dir);
+
+struct SnapshotFileInfo {
+  std::string path;
+  SnapshotKind kind = SnapshotKind::kConnectivity;
+  std::uint64_t epoch = 0;
+};
+
+/// Every well-named snapshot file in `dir`, sorted by ascending epoch.
+/// Name-based only — whether a candidate is *valid* is decided by opening
+/// it (RecoveryManager walks the list newest-first doing exactly that).
+[[nodiscard]] std::vector<SnapshotFileInfo> list_snapshots(
+    const std::string& dir);
+
+class SnapshotWriter {
+ public:
+  /// Derive and serialize epoch `epoch` of the logical graph (n, edges)
+  /// into `dir` (created if missing). Returns the final path. Atomic:
+  /// readers see the old file set or the new file, never a torn one.
+  static std::string write(const std::string& dir, SnapshotKind kind,
+                           std::uint64_t epoch, std::size_t n,
+                           const graph::EdgeList& edges);
+};
+
+/// A validated, mmap'd snapshot. Move-only; the QueryView's spans point
+/// into the mapping and stay valid for the reader's lifetime (moving the
+/// reader does not move the mapping).
+class SnapshotReader {
+ public:
+  /// Map and fully validate `path`; throws std::runtime_error describing
+  /// the first integrity violation found.
+  static SnapshotReader open(const std::string& path);
+
+  [[nodiscard]] const QueryView& view() const noexcept { return view_; }
+  [[nodiscard]] SnapshotKind kind() const noexcept { return kind_; }
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+  [[nodiscard]] std::size_t num_vertices() const noexcept { return n_; }
+  [[nodiscard]] std::size_t num_edges() const noexcept { return m_; }
+  [[nodiscard]] std::size_t file_bytes() const noexcept {
+    return map_.size();
+  }
+
+  /// The canonical edge list the snapshot encodes — what recovery feeds
+  /// Graph::from_edges.
+  [[nodiscard]] graph::EdgeList edge_list() const {
+    return view_.edge_list();
+  }
+
+  SnapshotReader(SnapshotReader&&) = default;
+  SnapshotReader& operator=(SnapshotReader&&) = default;
+
+ private:
+  SnapshotReader() = default;
+
+  MappedFile map_;
+  QueryView view_;
+  SnapshotKind kind_ = SnapshotKind::kConnectivity;
+  std::uint64_t epoch_ = 0;
+  std::size_t n_ = 0, m_ = 0;
+};
+
+/// Checkpoint a live facade: serialize its latest published epoch (epoch +
+/// logical edge set read atomically under the writer lock). Returns the
+/// snapshot path. The connectivity overload writes kConnectivity files,
+/// the biconnectivity overload kBiconnectivity.
+std::string checkpoint(const std::string& dir,
+                       const dynamic::DynamicConnectivity& facade);
+std::string checkpoint(const std::string& dir,
+                       const dynamic::DynamicBiconnectivity& facade);
+
+}  // namespace wecc::persist

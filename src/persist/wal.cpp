@@ -1,0 +1,358 @@
+#include "persist/wal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+#include <vector>
+
+#include "amem/counters.hpp"
+#include "persist/crc32.hpp"
+#include "persist/format.hpp"
+#include "persist/mmap_file.hpp"
+#include "persist/snapshot.hpp"  // ensure_directory
+
+namespace wecc::persist {
+
+namespace {
+
+constexpr const char* kSegPrefix = "wal-";
+constexpr const char* kSegSuffix = ".log";
+constexpr std::size_t kSeqDigits = 8;
+
+std::string segment_name(std::uint64_t seq) {
+  std::string digits = std::to_string(seq);
+  if (digits.size() < kSeqDigits) {
+    digits.insert(0, kSeqDigits - digits.size(), '0');
+  }
+  return kSegPrefix + digits + kSegSuffix;
+}
+
+bool parse_segment_name(const std::string& name, std::uint64_t* seq) {
+  std::string_view rest(name);
+  if (!rest.starts_with(kSegPrefix) || !rest.ends_with(kSegSuffix)) {
+    return false;
+  }
+  rest.remove_prefix(std::strlen(kSegPrefix));
+  rest.remove_suffix(std::strlen(kSegSuffix));
+  if (rest.size() < kSeqDigits) return false;
+  const auto [ptr, ec] =
+      std::from_chars(rest.data(), rest.data() + rest.size(), *seq, 10);
+  return ec == std::errc{} && ptr == rest.data() + rest.size();
+}
+
+struct SegmentFile {
+  std::uint64_t seq = 0;
+  std::string path;
+};
+
+std::vector<SegmentFile> list_segments(const std::string& dir) {
+  std::vector<SegmentFile> out;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) return out;
+  for (const auto& entry : it) {
+    if (!entry.is_regular_file(ec)) continue;
+    SegmentFile seg;
+    if (!parse_segment_name(entry.path().filename().string(), &seg.seq)) {
+      continue;
+    }
+    seg.path = entry.path().string();
+    out.push_back(std::move(seg));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SegmentFile& a, const SegmentFile& b) {
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+struct RecordView {
+  std::uint64_t epoch = 0;
+  const std::byte* payload = nullptr;
+  std::uint32_t n_ins = 0;
+  std::uint32_t n_del = 0;
+};
+
+/// Walk `bytes` (a whole segment). `*header_ok` reports whether the segment
+/// header itself was valid; the return value is the end offset of the last
+/// valid record (i.e. where a repair should truncate to). `fn` sees each
+/// valid record in order; returning false stops the walk early (the stop
+/// offset then covers everything already accepted).
+std::uint64_t scan_segment(std::span<const std::byte> bytes, bool* header_ok,
+                           const std::function<bool(const RecordView&)>& fn) {
+  *header_ok = false;
+  if (bytes.size() < sizeof(WalSegmentHeader)) return 0;
+  WalSegmentHeader sh;
+  std::memcpy(&sh, bytes.data(), sizeof(sh));
+  if (sh.magic != kWalSegmentMagic || sh.version != kFormatVersion) return 0;
+  *header_ok = true;
+
+  std::uint64_t off = sizeof(WalSegmentHeader);
+  while (off + kWalRecordOverhead <= bytes.size()) {
+    WalRecordHeader rh;
+    std::memcpy(&rh, bytes.data() + off, sizeof(rh));
+    if (rh.magic != kWalRecordMagic) break;
+    const std::uint64_t want_payload =
+        8ull * (std::uint64_t(rh.n_ins) + rh.n_del);
+    if (rh.payload_len != want_payload) break;
+    if (off + kWalRecordOverhead + rh.payload_len > bytes.size()) break;
+    const std::size_t covered = sizeof(rh) + rh.payload_len;
+    std::uint32_t stored_crc;
+    std::memcpy(&stored_crc, bytes.data() + off + covered, sizeof(stored_crc));
+    if (stored_crc != crc32(bytes.data() + off, covered)) break;
+    RecordView rec{rh.epoch, bytes.data() + off + sizeof(rh), rh.n_ins,
+                   rh.n_del};
+    if (!fn(rec)) return off;
+    off += covered + sizeof(stored_crc);
+  }
+  return off;
+}
+
+graph::EdgeList decode_edges(const std::byte* p, std::uint32_t count) {
+  graph::EdgeList edges(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint32_t uv[2];
+    std::memcpy(uv, p + 8ull * i, 8);
+    edges[i] = {uv[0], uv[1]};
+  }
+  return edges;
+}
+
+[[noreturn]] void io_fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error("persist: wal " + what + " '" + path +
+                           "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+std::unique_ptr<Wal> Wal::open(const std::string& dir, WalOptions opt) {
+  ensure_directory(dir);
+  std::unique_ptr<Wal> w(new Wal);
+  w->dir_ = dir;
+  w->opt_ = opt;
+
+  std::vector<SegmentFile> segments = list_segments(dir);
+  std::size_t keep = 0;  // segments that survive the validity scan
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    const SegmentFile& seg = segments[i];
+    std::uint64_t file_size, valid_end;
+    bool header_ok;
+    {
+      const MappedFile map = MappedFile::open(seg.path);
+      file_size = map.size();
+      valid_end = scan_segment(map.bytes(), &header_ok,
+                               [&](const RecordView& rec) {
+                                 w->have_epoch_ = true;
+                                 w->last_epoch_ = rec.epoch;
+                                 ++w->open_stats_.records;
+                                 return true;
+                               });
+    }
+    if (!header_ok) {
+      // The whole segment is unusable; it and everything after it go.
+      w->open_stats_.dropped_segments += segments.size() - i;
+      for (std::size_t j = i; j < segments.size(); ++j) {
+        ::unlink(segments[j].path.c_str());
+      }
+      break;
+    }
+    keep = i + 1;
+    if (valid_end < file_size) {
+      // Torn or corrupt tail: truncate it away, drop later segments
+      // (records after a torn one are unreachable in replay order).
+      w->open_stats_.truncated_bytes += file_size - valid_end;
+      if (::truncate(seg.path.c_str(), off_t(valid_end)) != 0) {
+        io_fail("truncate repair failed for", seg.path);
+      }
+      w->open_stats_.dropped_segments += segments.size() - keep;
+      for (std::size_t j = keep; j < segments.size(); ++j) {
+        ::unlink(segments[j].path.c_str());
+      }
+      break;
+    }
+  }
+  segments.resize(keep);
+
+  if (segments.empty()) {
+    w->open_segment(0, /*create=*/true);
+  } else {
+    w->open_segment(segments.back().seq, /*create=*/false);
+  }
+  // Until the next append there is nothing discard_tail may retract.
+  w->last_record_offset_ = w->seg_bytes_;
+  w->prev_epoch_ = w->last_epoch_;
+  w->have_prev_epoch_ = w->have_epoch_;
+  return w;
+}
+
+void Wal::open_segment(std::uint64_t seq, bool create) {
+  const std::string path = dir_ + "/" + segment_name(seq);
+  if (fd_ >= 0) {
+    ::fsync(fd_);
+    amem::count_storage_fsync();
+    ::close(fd_);
+    fd_ = -1;
+  }
+  const int flags = create ? (O_WRONLY | O_CREAT | O_EXCL | O_CLOEXEC)
+                           : (O_WRONLY | O_CLOEXEC);
+  fd_ = ::open(path.c_str(), flags, 0644);
+  if (fd_ < 0) io_fail("cannot open segment", path);
+  if (create) {
+    const WalSegmentHeader sh;
+    if (::pwrite(fd_, &sh, sizeof(sh), 0) != ssize_t(sizeof(sh))) {
+      io_fail("cannot write segment header to", path);
+    }
+    if (::fsync(fd_) != 0) io_fail("fsync failed for", path);
+    amem::count_storage_write(sizeof(sh));
+    amem::count_storage_fsync();
+    // Make the new name durable before any record lands in it.
+    const int dfd = ::open(dir_.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (dfd >= 0) {
+      ::fsync(dfd);
+      ::close(dfd);
+      amem::count_storage_fsync();
+    }
+    seg_bytes_ = sizeof(sh);
+  } else {
+    const off_t end = ::lseek(fd_, 0, SEEK_END);
+    if (end < 0) io_fail("cannot seek", path);
+    seg_bytes_ = std::uint64_t(end);
+  }
+  seg_seq_ = seq;
+  appends_since_sync_ = 0;
+}
+
+void Wal::rotate_if_needed() {
+  if (seg_bytes_ >= opt_.segment_bytes) {
+    open_segment(seg_seq_ + 1, /*create=*/true);
+  }
+}
+
+void Wal::log_batch(std::uint64_t epoch, const dynamic::UpdateBatch& batch) {
+  if (have_epoch_ && epoch <= last_epoch_) {
+    throw std::logic_error("persist: wal epoch " + std::to_string(epoch) +
+                           " not after " + std::to_string(last_epoch_));
+  }
+  rotate_if_needed();
+
+  WalRecordHeader rh;
+  rh.epoch = epoch;
+  rh.n_ins = std::uint32_t(batch.insertions.size());
+  rh.n_del = std::uint32_t(batch.deletions.size());
+  rh.payload_len = 8 * (rh.n_ins + rh.n_del);
+
+  std::vector<std::byte> buf(kWalRecordOverhead + rh.payload_len);
+  std::memcpy(buf.data(), &rh, sizeof(rh));
+  std::size_t pos = sizeof(rh);
+  const auto put_edges = [&](const graph::EdgeList& edges) {
+    for (const graph::Edge& e : edges) {
+      const std::uint32_t uv[2] = {e.u, e.v};
+      std::memcpy(buf.data() + pos, uv, 8);
+      pos += 8;
+    }
+  };
+  put_edges(batch.insertions);
+  put_edges(batch.deletions);
+  const std::uint32_t crc = crc32(buf.data(), pos);
+  std::memcpy(buf.data() + pos, &crc, sizeof(crc));
+
+  const std::uint64_t start = seg_bytes_;
+  const std::byte* p = buf.data();
+  std::size_t left = buf.size();
+  std::uint64_t off = start;
+  while (left > 0) {
+    const ssize_t n = ::pwrite(fd_, p, left, off_t(off));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::ftruncate(fd_, off_t(start));  // leave no partial record behind
+      io_fail("append failed in", dir_);
+    }
+    p += n;
+    off += std::uint64_t(n);
+    left -= std::size_t(n);
+  }
+  amem::count_storage_write(buf.size());
+
+  // Commit the in-memory watermarks only after the bytes are down.
+  last_record_offset_ = start;
+  prev_epoch_ = last_epoch_;
+  have_prev_epoch_ = have_epoch_;
+  seg_bytes_ = start + buf.size();
+  last_epoch_ = epoch;
+  have_epoch_ = true;
+
+  if (opt_.fsync_every != 0 && ++appends_since_sync_ >= opt_.fsync_every) {
+    sync();
+  }
+}
+
+void Wal::discard_tail(std::uint64_t epoch) noexcept {
+  if (!have_epoch_ || last_epoch_ != epoch) return;
+  if (::ftruncate(fd_, off_t(last_record_offset_)) != 0) return;
+  seg_bytes_ = last_record_offset_;
+  last_epoch_ = prev_epoch_;
+  have_epoch_ = have_prev_epoch_;
+}
+
+void Wal::sync() {
+  if (fd_ < 0) return;
+  if (::fsync(fd_) != 0) io_fail("fsync failed in", dir_);
+  amem::count_storage_fsync();
+  appends_since_sync_ = 0;
+}
+
+Wal::~Wal() {
+  if (fd_ >= 0) {
+    if (appends_since_sync_ > 0) {
+      ::fsync(fd_);
+      amem::count_storage_fsync();
+    }
+    ::close(fd_);
+  }
+}
+
+Wal::ReplayStats Wal::replay(
+    const std::string& dir, std::uint64_t from_epoch,
+    const std::function<void(std::uint64_t, const dynamic::UpdateBatch&)>&
+        fn) {
+  ReplayStats stats;
+  const std::vector<SegmentFile> segments = list_segments(dir);
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    const MappedFile map = MappedFile::open(segments[i].path);
+    bool header_ok;
+    const std::uint64_t valid_end =
+        scan_segment(map.bytes(), &header_ok, [&](const RecordView& rec) {
+          if (rec.epoch <= from_epoch) {
+            ++stats.skipped;
+            return true;
+          }
+          dynamic::UpdateBatch batch;
+          batch.insertions = decode_edges(rec.payload, rec.n_ins);
+          batch.deletions =
+              decode_edges(rec.payload + 8ull * rec.n_ins, rec.n_del);
+          fn(rec.epoch, batch);
+          ++stats.delivered;
+          return true;
+        });
+    if (!header_ok || valid_end < map.size()) {
+      // Invalid from here on: count the rest of this file and every later
+      // segment as unreplayable, and stop.
+      stats.truncated_bytes += map.size() - (header_ok ? valid_end : 0);
+      for (std::size_t j = i + 1; j < segments.size(); ++j) {
+        std::error_code ec;
+        stats.truncated_bytes +=
+            std::filesystem::file_size(segments[j].path, ec);
+      }
+      break;
+    }
+  }
+  return stats;
+}
+
+}  // namespace wecc::persist

@@ -1,0 +1,113 @@
+// Write-ahead log of update batches (redo log; see DurabilityLog for the
+// facade-side contract and docs/snapshot_format.md for the byte layout).
+//
+// A log is a directory of segment files `wal-<seq:08>.log`, each a 16-byte
+// segment header followed by framed records: header (magic, payload length,
+// epoch, insert/delete counts), payload (endpoint pairs), trailing CRC-32
+// over header + payload. Records are appended with one write() each and
+// fsync'd per the `fsync_every` policy; segments rotate at `segment_bytes`.
+//
+// Torn-tail discipline: open() scans every segment front to back and stops
+// at the first record whose frame fails any check (magic, length
+// cross-check, bounds, CRC). That segment is truncated back to its last
+// valid record and every later segment is deleted — a record after a torn
+// one is unreachable in replay order, so keeping it would be lying about
+// durability. The same discipline makes append self-repairing: a failed or
+// partial write truncates back to the pre-record offset before throwing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "dynamic/durability.hpp"
+
+namespace wecc::persist {
+
+struct WalOptions {
+  /// fsync after every Nth successful append; 1 = every append (full
+  /// durability), 0 = never (leave it to the OS — crash can lose recent
+  /// batches but never corrupt the replayable prefix).
+  std::size_t fsync_every = 1;
+  /// Rotate to a new segment once the current one reaches this size.
+  std::size_t segment_bytes = std::size_t{64} << 20;
+};
+
+/// What open() found and repaired.
+struct WalOpenStats {
+  std::uint64_t records = 0;          // valid records across all segments
+  std::uint64_t truncated_bytes = 0;  // torn tail cut from the last segment
+  std::uint64_t dropped_segments = 0; // segments after a corrupt one
+};
+
+class Wal final : public dynamic::DurabilityLog {
+ public:
+  /// Open (creating if necessary) the log in `dir`, repair any torn tail,
+  /// and position for appending. Throws std::runtime_error on I/O failure.
+  static std::unique_ptr<Wal> open(const std::string& dir,
+                                   WalOptions opt = {});
+  ~Wal() override;
+
+  /// Append one record; durable per the fsync policy when it returns.
+  /// Throws std::logic_error on a non-monotone epoch and
+  /// std::runtime_error on I/O failure — in both cases the log is left
+  /// exactly as before the call (partial writes are truncated away).
+  void log_batch(std::uint64_t epoch,
+                 const dynamic::UpdateBatch& batch) override;
+
+  /// Retract the most recent append if it was for `epoch` (the facade's
+  /// publish failed after the append). Best-effort, noexcept.
+  void discard_tail(std::uint64_t epoch) noexcept override;
+
+  /// Force an fsync of the current segment now.
+  void sync();
+
+  /// Epoch of the newest record (0 if the log is empty; check empty()).
+  [[nodiscard]] std::uint64_t last_epoch() const noexcept {
+    return last_epoch_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return !have_epoch_; }
+  [[nodiscard]] const WalOpenStats& open_stats() const noexcept {
+    return open_stats_;
+  }
+
+  struct ReplayStats {
+    std::uint64_t delivered = 0;        // records with epoch > from_epoch
+    std::uint64_t skipped = 0;          // records at or before from_epoch
+    std::uint64_t truncated_bytes = 0;  // torn/corrupt tail not replayed
+  };
+
+  /// Read-only scan of the log in `dir`: deliver every valid record with
+  /// epoch > `from_epoch`, in order, to `fn(epoch, batch)`. Stops cleanly
+  /// at the first invalid record (counted in truncated_bytes along with
+  /// everything after it); never modifies the files, so it is safe on a
+  /// copied-out crash image.
+  static ReplayStats replay(
+      const std::string& dir, std::uint64_t from_epoch,
+      const std::function<void(std::uint64_t, const dynamic::UpdateBatch&)>&
+          fn);
+
+ private:
+  Wal() = default;
+
+  void open_segment(std::uint64_t seq, bool create);
+  void rotate_if_needed();
+
+  std::string dir_;
+  WalOptions opt_;
+  int fd_ = -1;
+  std::uint64_t seg_seq_ = 0;
+  std::uint64_t seg_bytes_ = 0;  // current segment size == append offset
+  std::size_t appends_since_sync_ = 0;
+  bool have_epoch_ = false;
+  std::uint64_t last_epoch_ = 0;
+  // One level of undo for discard_tail: where the newest record starts and
+  // what the epoch watermark was before it.
+  std::uint64_t last_record_offset_ = 0;
+  bool have_prev_epoch_ = false;
+  std::uint64_t prev_epoch_ = 0;
+  WalOpenStats open_stats_;
+};
+
+}  // namespace wecc::persist
