@@ -72,6 +72,8 @@ int main(int argc, char** argv) {
     std::vector<std::uint8_t> decided(n, 0);
     std::vector<std::size_t> size_of(n, 0);
     for (std::size_t v = 0; v < n; ++v) {
+      // amem-ok: result extraction; the cluster labels were produced (and
+      // charged) by we_cc above, the flip itself is simulation state.
       const auto root = cc.label.raw()[v];
       if (!decided[root]) {
         decided[root] = 1;

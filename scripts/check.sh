@@ -10,18 +10,31 @@
 #
 # Usage: scripts/check.sh [build-dir]   (default: build)
 # Env:   CXX/CC respected by cmake as usual; WECC_THREADS caps the pool;
-#        WECC_SANITIZE=address,undefined (etc.) instruments the whole build
-#        with the given sanitizers (what the CI asan job sets);
+#        WECC_SANITIZE=address,undefined or WECC_SANITIZE=thread instruments
+#        the whole build with the given sanitizers (what the CI asan and
+#        tsan jobs set; thread cannot be combined with address/undefined);
+#        WECC_RACE_HUNT_MS lengthens the concurrency_test writer/reader
+#        churn (the tsan job raises it to >30s of churn; default is a
+#        smoke-length run);
 #        WECC_BUILD_TYPE overrides the CMake build type (default
 #        RelWithDebInfo; the CI -Werror legs set Release);
 #        WECC_WERROR=ON turns warnings into errors across every target;
-#        WECC_BENCH_SMOKE_FILTER overrides the dynamic-bench row filter
-#        (the asan job narrows it — sanitized full-rebuild baselines are
-#        slow). ccache is picked up automatically when installed.
+#        WECC_BENCH_SMOKE_FILTER overrides the dynamic-bench row filter.
+#        Under WECC_SANITIZE=thread it defaults to the narrowed /100000/64
+#        rows, mirroring what the asan CI job sets explicitly — sanitized
+#        full-rebuild baselines are ~10x slower than plain builds. ccache
+#        is picked up automatically when installed.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
+# TSan-narrowed default: the instrumented full-rebuild baseline rows take
+# minutes under ThreadSanitizer; smoke the small batch rows only unless the
+# caller asks for more.
+if [[ -z "${WECC_BENCH_SMOKE_FILTER:-}" && \
+      "${WECC_SANITIZE:-}" == *thread* ]]; then
+  WECC_BENCH_SMOKE_FILTER='/100000/64(/|$)'
+fi
 BENCH_FILTER="${WECC_BENCH_SMOKE_FILTER:-/100000(/|\$)}"
 
 CMAKE_ARGS=(-DCMAKE_BUILD_TYPE="${WECC_BUILD_TYPE:-RelWithDebInfo}")

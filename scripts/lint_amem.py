@@ -1,0 +1,287 @@
+#!/usr/bin/env python3
+"""Write-discipline linter for the asymmetric-memory cost model.
+
+The repo's central invariant is that every access to asymmetric memory is
+charged: algorithms go through asym_array::read/write (or call
+amem::count_read/count_write next to a raw loop) so the per-phase counters
+reproduce the paper's write bounds. Two escape hatches can silently break
+that invariant, and this linter guards both:
+
+Rule 1 — raw() discipline.
+    asym_array::raw() exposes the storage uncounted. Inside ``src/`` and
+    ``examples/`` every ``.raw(`` / ``->raw(`` use must carry an
+    ``// amem-ok: <reason>`` annotation on the same line or in the comment
+    block immediately above it, stating why the access is legitimately
+    uncounted (result extraction after an instrumented phase, test-visible
+    scratch statistics, ...). ``tests/`` and ``bench/`` are exempt: they
+    assert on and report the counters rather than implement charged
+    algorithms.
+
+Rule 2 — charging allowlist.
+    Direct calls to count_read/count_write are how algorithm files charge
+    batched accesses; a stray call inflates a bound, a missing one hides a
+    write. Any scanned file that calls them must be listed in
+    ``scripts/amem_charge_allowlist.txt`` — adding a file there is a
+    review-visible act.
+
+Implementation note: this is a deterministic tokenizer (comments, string
+literals, char literals, and raw strings are blanked before matching), not
+an AST walk. A libclang pass over compile_commands.json was considered and
+rejected: the container and CI lint job carry no clang Python bindings, the
+patterns involved (member named ``raw``, calls to two named functions) have
+no overload/macro ambiguity here, and a dependency-free linter can run
+everywhere including pre-commit. If the codebase ever grows a second
+``raw()`` member on an uncharged type, revisit.
+
+Exit status: 0 clean, 1 violations (one ``file:line: message`` per line on
+stdout, mirrored to ``--report FILE``), 2 internal/usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+RAW_USE = re.compile(r"(?:\.|->)\s*raw\s*\(")
+COUNT_CALL = re.compile(r"\b(?:amem\s*::\s*)?count_(?:read|write)\s*\(")
+ANNOTATION = "amem-ok:"
+
+# Directories scanned, relative to the repo root. tests/ and bench/ are
+# deliberately absent (see module docstring).
+SCAN_DIRS = ("src", "examples", "tools")
+SCAN_SUFFIXES = (".hpp", ".cpp")
+
+ALLOWLIST_PATH = Path("scripts/amem_charge_allowlist.txt")
+
+
+def strip_code(text: str) -> str:
+    """Blank comments and string/char literals, preserving line structure.
+
+    Every non-newline character inside a comment or literal becomes a
+    space, so regex matches against the result carry correct line numbers
+    and column-free positions. Handles //, /* */, "..." and '...' with
+    backslash escapes, and R"delim(...)delim" raw strings.
+    """
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                out.append(" ")
+                i += 1
+        elif c == "/" and nxt == "*":
+            out.append("  ")
+            i += 2
+            while i < n and not (text[i] == "*" and i + 1 < n
+                                 and text[i + 1] == "/"):
+                out.append("\n" if text[i] == "\n" else " ")
+                i += 1
+            if i < n:
+                out.append("  ")
+                i += 2
+        elif c == "R" and nxt == '"':
+            # Raw string: R"delim( ... )delim"
+            j = i + 2
+            while j < n and text[j] != "(":
+                j += 1
+            delim = text[i + 2:j]
+            close = ")" + delim + '"'
+            end = text.find(close, j)
+            end = n if end == -1 else end + len(close)
+            out.extend("\n" if ch == "\n" else " " for ch in text[i:end])
+            i = end
+        elif c in "\"'":
+            quote = c
+            out.append(" ")
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\" and i + 1 < n:
+                    out.append("  ")
+                    i += 2
+                else:
+                    out.append("\n" if text[i] == "\n" else " ")
+                    i += 1
+            if i < n:
+                out.append(" ")
+                i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def annotated(original_lines: list[str], lineno: int) -> bool:
+    """True if line ``lineno`` (1-based) carries or inherits an amem-ok.
+
+    Same line counts; otherwise walk upward through the contiguous block of
+    comment-only lines directly above and accept a marker anywhere in it.
+    """
+    if ANNOTATION in original_lines[lineno - 1]:
+        return True
+    j = lineno - 1
+    while j >= 1 and original_lines[j - 1].lstrip().startswith("//"):
+        if ANNOTATION in original_lines[j - 1]:
+            return True
+        j -= 1
+    return False
+
+
+def lint_file(rel: str, text: str, allowlist: set[str]) -> list[str]:
+    """Lint one file's content; returns ``file:line: message`` strings."""
+    violations = []
+    original_lines = text.splitlines()
+    stripped_lines = strip_code(text).splitlines()
+    for idx, line in enumerate(stripped_lines, start=1):
+        if RAW_USE.search(line) and not annotated(original_lines, idx):
+            violations.append(
+                f"{rel}:{idx}: uncounted raw() access without an "
+                f"'// {ANNOTATION} <reason>' annotation (same line or the "
+                f"comment block above)")
+        if COUNT_CALL.search(line) and rel not in allowlist:
+            violations.append(
+                f"{rel}:{idx}: direct count_read/count_write call in a "
+                f"file missing from {ALLOWLIST_PATH}")
+    return violations
+
+
+def load_allowlist(root: Path) -> set[str]:
+    allowlist = set()
+    for raw_line in (root / ALLOWLIST_PATH).read_text().splitlines():
+        entry = raw_line.split("#", 1)[0].strip()
+        if entry:
+            allowlist.add(entry)
+    return allowlist
+
+
+def scan_tree(root: Path) -> list[str]:
+    allowlist = load_allowlist(root)
+    stale = [e for e in sorted(allowlist) if not (root / e).is_file()]
+    violations = [
+        f"{ALLOWLIST_PATH}:1: stale entry '{e}' (file no longer exists)"
+        for e in stale
+    ]
+    for d in SCAN_DIRS:
+        base = root / d
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in SCAN_SUFFIXES or not path.is_file():
+                continue
+            rel = path.relative_to(root).as_posix()
+            violations.extend(lint_file(rel, path.read_text(), allowlist))
+    return violations
+
+
+def self_test(root: Path) -> int:
+    """Prove the linter catches what it claims to catch.
+
+    Injects violations into copies of real shipped files (so the test
+    exercises the same parsing path as the tree scan) and asserts clean
+    runs stay clean.
+    """
+    allowlist = load_allowlist(root)
+    failures = []
+
+    def expect(name: str, got: list[str], want_substr: str | None) -> None:
+        if want_substr is None:
+            if got:
+                failures.append(f"{name}: expected clean, got {got}")
+        elif not any(want_substr in v for v in got):
+            failures.append(f"{name}: expected a violation matching "
+                            f"'{want_substr}', got {got}")
+
+    # 1. Deliberately injected uncharged raw() write into a shipped src
+    #    file must be flagged at the injected line.
+    victim = "src/dynamic/dynamic_connectivity.hpp"
+    lines = (root / victim).read_text().splitlines(keepends=True)
+    inject_at = len(lines) // 2
+    lines.insert(inject_at, "  base_.label.raw()[0] = 1;\n")
+    got = lint_file(victim, "".join(lines), allowlist)
+    expect("injected-raw-write", got,
+           f"{victim}:{inject_at + 1}: uncounted raw()")
+
+    # 2. Unallowlisted count_write call must be flagged. thread_pool.cpp is
+    #    symmetric-memory infrastructure and must never charge.
+    victim2 = "src/parallel/thread_pool.cpp"
+    assert victim2 not in allowlist, "self-test premise broken"
+    lines2 = (root / victim2).read_text().splitlines(keepends=True)
+    lines2.insert(3, "static void bogus() { wecc::amem::count_write(3); }\n")
+    got2 = lint_file(victim2, "".join(lines2), allowlist)
+    expect("injected-count-write", got2, f"{victim2}:4: direct count_")
+
+    # 3. The shipped annotated raw() sites must pass as-is.
+    for shipped in ("src/biconn/bc_labeling_impl.hpp",
+                    "examples/swendsen_wang.cpp"):
+        expect(f"shipped-clean:{shipped}",
+               lint_file(shipped, (root / shipped).read_text(), allowlist),
+               None)
+
+    # 4. Comments and string literals must not trip either rule.
+    snippet = (
+        "// mention of label.raw() in a comment\n"
+        "/* block comment: x.raw() and count_write(2) */\n"
+        'const char* s = "y.raw() count_read(1)";\n'
+        'auto r = R"(z.raw() count_write())";\n'
+    )
+    expect("comment-string-immunity",
+           lint_file("src/fake/snippet.hpp", snippet, allowlist), None)
+
+    # 5. An annotation on the line itself and via a comment block both
+    #    suppress rule 1.
+    ok_snippet = (
+        "auto a = x.raw();  // amem-ok: same-line\n"
+        "// amem-ok: block form, first line\n"
+        "// continued rationale\n"
+        "auto b = y.raw();\n"
+    )
+    expect("annotation-forms",
+           lint_file("src/fake/ok.hpp", ok_snippet, allowlist), None)
+
+    if failures:
+        for f in failures:
+            print(f"lint_amem self-test FAILED: {f}", file=sys.stderr)
+        return 2
+    print("lint_amem.py: self-test passed (5 scenarios)")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="amem charging linter (see module docstring)")
+    parser.add_argument("--root", type=Path,
+                        default=Path(__file__).resolve().parent.parent,
+                        help="repo root (default: the checkout containing "
+                             "this script)")
+    parser.add_argument("--report", type=Path, metavar="FILE",
+                        help="also write violations to FILE")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the linter catches injected "
+                             "violations, then exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test(args.root)
+
+    violations = scan_tree(args.root)
+    if args.report:
+        args.report.write_text(
+            "".join(v + "\n" for v in violations) if violations
+            else "lint_amem.py: clean\n")
+    if violations:
+        for v in violations:
+            print(v)
+        print(f"lint_amem.py: {len(violations)} violation(s)",
+              file=sys.stderr)
+        return 1
+    print("lint_amem.py: clean "
+          f"(rules: raw() annotation, charge allowlist; dirs: "
+          f"{', '.join(SCAN_DIRS)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Zero-warning clang-tidy gate over the library. Lints every src/ TU plus
+# tools/tidy_shim.cpp (one TU that includes all public headers, so the
+# header-only dynamic/decomp/connectivity/biconn/primitives layers are
+# analyzed without dragging gtest/benchmark into the lint surface). The
+# check set and per-disable rationale live in .clang-tidy.
+#
+# Usage: scripts/run_clang_tidy.sh [build-dir]   (default: build-tidy)
+# Env:   WECC_CLANG_TIDY overrides the binary (default: clang-tidy-18 if
+#        present, else clang-tidy — CI pins 18, the same major as the
+#        clang-format pin, because check sets shift between majors);
+#        CC/CXX respected by cmake as usual (CI sets clang-18 so the
+#        compile database's flags match the clang-tidy major).
+# Output: <build-dir>/clang_tidy_report.txt (uploaded by CI on failure).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tidy}"
+
+TIDY="${WECC_CLANG_TIDY:-}"
+if [[ -z "$TIDY" ]]; then
+  if command -v clang-tidy-18 > /dev/null; then
+    TIDY=clang-tidy-18
+  elif command -v clang-tidy > /dev/null; then
+    TIDY=clang-tidy
+  else
+    echo "run_clang_tidy.sh: no clang-tidy binary found" \
+         "(install clang-tidy-18 or set WECC_CLANG_TIDY)" >&2
+    exit 2
+  fi
+fi
+echo "== $($TIDY --version | head -2 | tr '\n' ' ') =="
+
+# Tests/bench/examples are off: the lint surface is the library, and gtest /
+# google-benchmark headers would dominate the compile database otherwise.
+CMAKE_ARGS=(-DCMAKE_BUILD_TYPE="${WECC_BUILD_TYPE:-RelWithDebInfo}"
+            -DWECC_BUILD_TESTS=OFF
+            -DWECC_BUILD_BENCH=OFF
+            -DWECC_BUILD_EXAMPLES=OFF
+            -DWECC_BUILD_TIDY_SHIM=ON)
+if command -v ccache > /dev/null; then
+  CMAKE_ARGS+=(-DCMAKE_C_COMPILER_LAUNCHER=ccache
+               -DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
+# Build first: a TU that does not compile produces clang-tidy noise instead
+# of a compiler error, and the build is what ccache accelerates.
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+# The shim must include every header, or the "zero warnings" claim silently
+# shrinks as headers are added. Cross-check against the tree.
+missing=0
+while IFS= read -r hpp; do
+  rel="${hpp#src/}"
+  if ! grep -qF "#include \"$rel\"" tools/tidy_shim.cpp; then
+    echo "run_clang_tidy.sh: tools/tidy_shim.cpp is missing $rel" >&2
+    missing=1
+  fi
+done < <(find src -name '*.hpp' | sort)
+if [[ "$missing" -ne 0 ]]; then
+  echo "run_clang_tidy.sh: add the header(s) above to tools/tidy_shim.cpp" >&2
+  exit 1
+fi
+
+mapfile -t TUS < <(find src -name '*.cpp' | sort)
+TUS+=(tools/tidy_shim.cpp)
+echo "== clang-tidy over ${#TUS[@]} TUs (report: $BUILD_DIR/clang_tidy_report.txt) =="
+
+# xargs -P fans out one clang-tidy process per TU; any nonzero exit (a
+# warning, under WarningsAsErrors: '*') makes xargs fail, and pipefail
+# carries that through tee.
+status=0
+printf '%s\n' "${TUS[@]}" \
+  | xargs -P "$(nproc)" -I{} "$TIDY" -p "$BUILD_DIR" --quiet {} \
+  2>&1 | tee "$BUILD_DIR/clang_tidy_report.txt" || status=$?
+
+if [[ "$status" -ne 0 ]]; then
+  echo "run_clang_tidy.sh: clang-tidy reported warnings (see report)" >&2
+  exit 1
+fi
+echo "run_clang_tidy.sh: zero warnings"

@@ -42,6 +42,9 @@ BcLabeling BcLabeling::build(const G& g, const BcOptions& opt) {
 
   // Step 1: spanning forest + Euler numbers.
   const auto forest = primitives::bfs_forest(g);
+  // amem-ok: extraction of the finished BFS forest; the reads that built
+  // it were charged inside bfs_forest, and build_tree_arrays charges its
+  // own writes.
   bc.tree_ = primitives::build_tree_arrays(forest.parent.raw());
   const auto& parent = bc.tree_.parent;
 

@@ -398,9 +398,12 @@ class DynamicConnectivity {
         frontier.swap(next);
       }
     }
-    // Exact component count among real clusters (scratch pass).
-    std::unordered_set<graph::vertex_id> distinct(cc2.label.raw().begin(),
-                                                  cc2.label.raw().end());
+    // Exact component count among real clusters (scratch pass; uncounted
+    // by the same convention as the from-scratch builder's stats).
+    // amem-ok: derived statistic over a finished label array.
+    const auto& labels2 = cc2.label.raw();
+    std::unordered_set<graph::vertex_id> distinct(labels2.begin(),
+                                                  labels2.end());
     cc2.num_components = distinct.size();
 
     auto state = std::make_shared<VersionedOracle>(

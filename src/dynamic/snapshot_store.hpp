@@ -144,19 +144,32 @@ class Snapshot {
 /// Generic over the snapshot type — the connectivity and biconnectivity
 /// facades publish different views through the same ring discipline; SnapT
 /// only needs an `epoch()` accessor.
+///
+/// Pin accounting: every handle handed out by current()/at_epoch() carries
+/// a release hook that decrements that snapshot's outstanding-pin counter,
+/// so eviction classifies "was a reader still holding this?" from the
+/// store's own exact books. (An earlier revision inferred it from
+/// shared_ptr::use_count(), which also counts the owning facade's internal
+/// references and is explicitly documented as approximate under concurrent
+/// use — the TSan race-hunt harness churns pin/unpin against eviction to
+/// keep this path honest.)
 template <typename SnapT>
 class SnapshotStoreT {
  public:
   /// Counters for observability: how the ring has been used since
   /// construction. `pinned_evicted` counts evictions where a reader still
-  /// held the snapshot (it lived on outside the ring) — a sustained nonzero
-  /// rate is the signal to raise snapshot_capacity.
+  /// held a handle from current()/at_epoch() (the snapshot lived on outside
+  /// the ring) — a sustained nonzero rate is the signal to raise
+  /// snapshot_capacity. It is monotone and only ever updated under the
+  /// store mutex, at eviction time. `pins_outstanding` is the number of
+  /// reader handles currently alive across the whole ring.
   struct RingStats {
     std::size_t size = 0;
     std::size_t capacity = 0;
     std::uint64_t published = 0;
     std::uint64_t evicted = 0;
     std::uint64_t pinned_evicted = 0;
+    std::uint64_t pins_outstanding = 0;
   };
 
   explicit SnapshotStoreT(std::size_t capacity)
@@ -170,19 +183,25 @@ class SnapshotStoreT {
   /// because publishing out of order would silently corrupt every
   /// at_epoch() answer thereafter.
   void publish(std::shared_ptr<const SnapT> snap) {
+    Entry entry{std::move(snap),
+                std::make_shared<std::atomic<std::uint64_t>>(0)};
     const std::lock_guard<std::mutex> lock(mu_);
-    if (!ring_.empty() && snap->epoch() <= ring_.back()->epoch()) {
+    if (!ring_.empty() && entry.snap->epoch() <= ring_.back().snap->epoch()) {
       throw std::logic_error(
           "SnapshotStore::publish: non-monotone epoch " +
-          std::to_string(snap->epoch()) + " after " +
-          std::to_string(ring_.back()->epoch()));
+          std::to_string(entry.snap->epoch()) + " after " +
+          std::to_string(ring_.back().snap->epoch()));
     }
-    ring_.push_back(std::move(snap));
+    ring_.push_back(std::move(entry));
     ++published_;
     while (ring_.size() > capacity_) {
-      // use_count == 1 means only the ring holds it; more means a reader
-      // has it pinned and the snapshot outlives its eviction.
-      if (ring_.front().use_count() > 1) ++pinned_evicted_;
+      // Exact handed-out-pin count for the victim, read at the eviction
+      // linearization point. A reader releasing concurrently lands either
+      // before or after this load — both are valid orderings — and unlike
+      // use_count() the counter never sees the ring's own reference.
+      if (ring_.front().pins->load(std::memory_order_relaxed) > 0) {
+        ++pinned_evicted_;
+      }
       ring_.pop_front();
       ++evicted_;
     }
@@ -191,7 +210,7 @@ class SnapshotStoreT {
   /// Latest snapshot (never null once the owner published epoch 0).
   [[nodiscard]] std::shared_ptr<const SnapT> current() const {
     const std::lock_guard<std::mutex> lock(mu_);
-    return ring_.empty() ? nullptr : ring_.back();
+    return ring_.empty() ? nullptr : pin(ring_.back());
   }
 
   /// Snapshot at an exact epoch, or null if never published / evicted.
@@ -203,11 +222,11 @@ class SnapshotStoreT {
     const std::lock_guard<std::mutex> lock(mu_);
     const auto it = std::lower_bound(
         ring_.begin(), ring_.end(), epoch,
-        [](const std::shared_ptr<const SnapT>& s, std::uint64_t e) {
-          return s->epoch() < e;
+        [](const Entry& e, std::uint64_t target) {
+          return e.snap->epoch() < target;
         });
-    if (it == ring_.end() || (*it)->epoch() != epoch) return nullptr;
-    return *it;
+    if (it == ring_.end() || it->snap->epoch() != epoch) return nullptr;
+    return pin(*it);
   }
 
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
@@ -219,19 +238,47 @@ class SnapshotStoreT {
     const std::lock_guard<std::mutex> lock(mu_);
     std::vector<std::uint64_t> out;
     out.reserve(ring_.size());
-    for (const auto& s : ring_) out.push_back(s->epoch());
+    for (const auto& e : ring_) out.push_back(e.snap->epoch());
     return out;
   }
 
   [[nodiscard]] RingStats stats() const {
     const std::lock_guard<std::mutex> lock(mu_);
-    return RingStats{ring_.size(), capacity_, published_, evicted_,
-                     pinned_evicted_};
+    std::uint64_t pins = 0;
+    for (const auto& e : ring_) {
+      pins += e.pins->load(std::memory_order_relaxed);
+    }
+    return RingStats{ring_.size(), capacity_,       published_,
+                     evicted_,     pinned_evicted_, pins};
   }
 
  private:
+  /// One published snapshot plus its outstanding-pin counter. The counter
+  /// is shared with the release hooks of every handle handed out for this
+  /// snapshot, so it outlives both the ring entry and the store itself.
+  struct Entry {
+    std::shared_ptr<const SnapT> snap;
+    std::shared_ptr<std::atomic<std::uint64_t>> pins;
+  };
+
+  /// Wrap a ring entry's snapshot for hand-out: bump its pin count and
+  /// attach a release hook (via the aliasing constructor) that drops it
+  /// when the reader's last copy of the handle dies. The hook touches only
+  /// the shared atomic — no lock — so releasing a pin can never deadlock,
+  /// not even on the bad_alloc path where the handle's construction itself
+  /// fails and immediately runs the hook (the increment below is balanced
+  /// either way).
+  [[nodiscard]] static std::shared_ptr<const SnapT> pin(const Entry& entry) {
+    entry.pins->fetch_add(1, std::memory_order_relaxed);
+    std::shared_ptr<void> holder(
+        nullptr, [snap = entry.snap, pins = entry.pins](void*) noexcept {
+          pins->fetch_sub(1, std::memory_order_relaxed);
+        });
+    return std::shared_ptr<const SnapT>(std::move(holder), entry.snap.get());
+  }
+
   mutable std::mutex mu_;
-  std::deque<std::shared_ptr<const SnapT>> ring_;
+  std::deque<Entry> ring_;
   std::size_t capacity_;
   std::uint64_t published_ = 0;
   std::uint64_t evicted_ = 0;

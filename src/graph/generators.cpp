@@ -18,6 +18,7 @@ Graph path(std::size_t n) {
 
 Graph cycle(std::size_t n) {
   EdgeList e;
+  e.reserve(n);
   for (vertex_id i = 0; i + 1 < n; ++i) e.push_back({i, vertex_id(i + 1)});
   if (n >= 3) e.push_back({vertex_id(n - 1), 0});
   return Graph::from_edges(n, e);
@@ -49,12 +50,14 @@ Graph complete(std::size_t n) {
 
 Graph star(std::size_t n) {
   EdgeList e;
+  e.reserve(n ? n - 1 : 0);
   for (vertex_id i = 1; i < n; ++i) e.push_back({0, i});
   return Graph::from_edges(n, e);
 }
 
 Graph binary_tree(std::size_t n) {
   EdgeList e;
+  e.reserve(n ? n - 1 : 0);
   for (vertex_id i = 1; i < n; ++i) e.push_back({vertex_id((i - 1) / 2), i});
   return Graph::from_edges(n, e);
 }
@@ -156,6 +159,7 @@ Graph cactus_chain(std::size_t num_cycles, std::size_t cycle_len) {
 
 Graph barbell(std::size_t s) {
   EdgeList e;
+  e.reserve(s * (s - 1) + 1);  // two s-cliques plus the bridge
   for (vertex_id i = 0; i < s; ++i)
     for (vertex_id j = i + 1; j < s; ++j) e.push_back({i, j});
   for (vertex_id i = 0; i < s; ++i)

@@ -29,6 +29,16 @@ std::size_t& configured_threads() {
 // variable between parallel regions; one region runs at a time (nested
 // parallelism serializes inside the region, which is fine for our blocked
 // loops).
+//
+// Each region's state (task function, count, claim counter, completion
+// count) lives in its own shared Region object, published to workers under
+// mu_ and retained by each participant through a shared_ptr. A straggler
+// worker that wakes after the region finished — or is still draining its
+// claim loop while run() starts the next region — only ever touches its own
+// region's exhausted counter, never the next region's function or task
+// count. (The previous revision kept that state in pool members, which a
+// late work_loop read unsynchronized while the next run() rewrote them — a
+// data race ThreadSanitizer flags.)
 class Pool {
  public:
   static Pool& instance() {
@@ -44,28 +54,38 @@ class Pool {
       for (std::size_t t = 0; t < ntasks; ++t) fn(t);
       return;
     }
-    std::unique_lock<std::mutex> region(region_mu_);
-    in_region_ = true;
+    std::unique_lock<std::mutex> region_lock(region_mu_);
+    auto r = std::make_shared<Region>(fn, ntasks);
     {
       std::lock_guard<std::mutex> lk(mu_);
-      fn_ = &fn;
-      ntasks_ = ntasks;
-      next_task_.store(0, std::memory_order_relaxed);
-      pending_ = ntasks;
+      region_ = r;
       ++generation_;
     }
     cv_.notify_all();
     // The caller participates too.
-    work_loop();
+    in_region_ = true;
+    work_loop(*r);
+    in_region_ = false;
     {
       std::unique_lock<std::mutex> lk(mu_);
-      done_cv_.wait(lk, [&] { return pending_ == 0; });
-      fn_ = nullptr;
+      done_cv_.wait(lk, [&] { return r->pending == 0; });
+      region_ = nullptr;
     }
-    in_region_ = false;
   }
 
  private:
+  struct Region {
+    Region(const std::function<void(std::size_t)>& f, std::size_t n)
+        : fn(&f), ntasks(n), pending(n) {}
+    // fn points into the calling frame of run(); every invocation through
+    // it completes before pending reaches 0, which run() awaits before
+    // returning — stragglers beyond that only read next/ntasks.
+    const std::function<void(std::size_t)>* fn;
+    std::size_t ntasks;
+    std::atomic<std::size_t> next{0};
+    std::size_t pending;  // guarded by mu_
+  };
+
   explicit Pool(std::size_t n) : nthreads_(n < 1 ? 1 : n) {
     for (std::size_t i = 0; i + 1 < nthreads_; ++i) {
       workers_.emplace_back([this] { worker_main(); });
@@ -84,23 +104,25 @@ class Pool {
   void worker_main() {
     std::uint64_t seen_gen = 0;
     for (;;) {
+      std::shared_ptr<Region> r;
       {
         std::unique_lock<std::mutex> lk(mu_);
         cv_.wait(lk, [&] { return stopping_ || generation_ != seen_gen; });
         if (stopping_) return;
         seen_gen = generation_;
+        r = region_;  // may already be null if the region drained without us
       }
-      work_loop();
+      if (r) work_loop(*r);
     }
   }
 
-  void work_loop() {
+  void work_loop(Region& r) {
     for (;;) {
-      const std::size_t t = next_task_.fetch_add(1, std::memory_order_relaxed);
-      if (t >= ntasks_) break;
-      (*fn_)(t);
+      const std::size_t t = r.next.fetch_add(1, std::memory_order_relaxed);
+      if (t >= r.ntasks) break;
+      (*r.fn)(t);
       std::lock_guard<std::mutex> lk(mu_);
-      if (--pending_ == 0) done_cv_.notify_all();
+      if (--r.pending == 0) done_cv_.notify_all();
     }
   }
 
@@ -110,12 +132,9 @@ class Pool {
   std::mutex region_mu_;
   std::condition_variable cv_;
   std::condition_variable done_cv_;
-  const std::function<void(std::size_t)>* fn_ = nullptr;
-  std::size_t ntasks_ = 0;
-  std::size_t pending_ = 0;
-  std::atomic<std::size_t> next_task_{0};
-  std::uint64_t generation_ = 0;
-  bool stopping_ = false;
+  std::shared_ptr<Region> region_;  // guarded by mu_
+  std::uint64_t generation_ = 0;    // guarded by mu_
+  bool stopping_ = false;           // guarded by mu_
   static thread_local bool in_region_;
 };
 

@@ -46,6 +46,9 @@ class HistoricView {
     return mapped_.has_value();
   }
   [[nodiscard]] const QueryView& view() const noexcept {
+    // Exactly one of mapped_/derived_ is engaged (see the two
+    // constructors) — a class invariant the optional checker cannot see.
+    // NOLINTNEXTLINE(bugprone-unchecked-optional-access)
     return mapped_ ? mapped_->view() : derived_->view();
   }
 

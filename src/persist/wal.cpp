@@ -133,7 +133,8 @@ graph::EdgeList decode_edges(const std::byte* p, std::uint32_t count) {
 
 std::unique_ptr<Wal> Wal::open(const std::string& dir, WalOptions opt) {
   ensure_directory(dir);
-  std::unique_ptr<Wal> w(new Wal);
+  // make_unique cannot reach the private constructor.
+  std::unique_ptr<Wal> w(new Wal);  // NOLINT(modernize-make-unique)
   w->dir_ = dir;
   w->opt_ = opt;
 

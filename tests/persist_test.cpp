@@ -352,7 +352,8 @@ TEST(SnapshotStore, RingStatsTrackEvictionAndPins) {
   dynamic::SnapshotStoreT<FakeSnap> store(2);
   store.publish(std::make_shared<FakeSnap>(FakeSnap{1}));
   store.publish(std::make_shared<FakeSnap>(FakeSnap{2}));
-  const auto pinned = store.current();  // pin epoch 2 across evictions
+  auto pinned = store.current();  // pin epoch 2 across evictions
+  EXPECT_EQ(store.stats().pins_outstanding, 1u);
   store.publish(std::make_shared<FakeSnap>(FakeSnap{3}));  // evicts 1, free
   store.publish(std::make_shared<FakeSnap>(FakeSnap{4}));  // evicts 2, pinned
   const auto stats = store.stats();
@@ -361,7 +362,18 @@ TEST(SnapshotStore, RingStatsTrackEvictionAndPins) {
   EXPECT_EQ(stats.published, 4u);
   EXPECT_EQ(stats.evicted, 2u);
   EXPECT_EQ(stats.pinned_evicted, 1u);
+  // Epoch 2 left the ring, so its still-live pin no longer counts here.
+  EXPECT_EQ(stats.pins_outstanding, 0u);
   EXPECT_EQ(pinned->epoch(), 2u);  // still valid after eviction
+  // A copied handle is one pin (the release hook fires with the last copy):
+  // pinning epoch 4 twice via copy still reads as a single hand-out, and
+  // dropping all copies returns the books to zero.
+  auto a = store.at_epoch(4);
+  auto b = a;
+  EXPECT_EQ(store.stats().pins_outstanding, 1u);
+  a.reset();
+  b.reset();
+  EXPECT_EQ(store.stats().pins_outstanding, 0u);
 }
 
 TEST(Durability, FacadeLogsEveryEpochAdvance) {
