@@ -1,4 +1,9 @@
-// Example: running the batch-dynamic layer like a query service.
+// Example: running the batch-dynamic layer like a query service — through
+// the SAME wecc::service request/response types the networked server
+// (tools/wecc_server.cpp) speaks on the wire. FacadeService is the
+// in-process transport: every update is an ApplyRequest, every read is a
+// QueryRequest with an optional epoch pin, so this example doubles as a
+// scripted smoke test of the unified API.
 //
 // A Swendsen–Wang style percolation grid takes streaming edge churn
 // (bond flips arrive in batches) while a reader keeps answering
@@ -20,7 +25,6 @@
 #include <string>
 #include <vector>
 
-#include "dynamic/batch_query.hpp"
 #include "dynamic/dynamic_biconnectivity.hpp"
 #include "dynamic/dynamic_connectivity.hpp"
 #include "graph/generators.hpp"
@@ -28,20 +32,26 @@
 #include "persist/recovery.hpp"
 #include "persist/snapshot.hpp"
 #include "persist/wal.hpp"
+#include "service/service.hpp"
 
 using namespace wecc;
 using graph::vertex_id;
 
+using dynamic::path_name;
+
 namespace {
 
-const char* path_name(dynamic::UpdateReport::Path p) {
-  switch (p) {
-    case dynamic::UpdateReport::Path::kInitialBuild: return "initial-build";
-    case dynamic::UpdateReport::Path::kFastInsert: return "fast-insert";
-    case dynamic::UpdateReport::Path::kSelectiveRebuild: return "selective";
-    case dynamic::UpdateReport::Path::kCompaction: return "compaction";
+/// Answer one query vector or die: the example's requests are always
+/// well-formed, so anything but kOk is a bug worth crashing on.
+std::vector<std::uint8_t> must_query(const service::ServiceHandler& svc,
+                                     service::QueryRequest req) {
+  const service::QueryResponse resp = svc.query(req);
+  if (resp.status != service::Status::kOk) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 service::status_name(resp.status));
+    std::exit(1);
   }
-  return "?";
+  return resp.answers;
 }
 
 }  // namespace
@@ -53,52 +63,61 @@ int main() {
 
   dynamic::DynamicOptions opt;
   opt.oracle.k = 8;
+  // The service resolves epoch pins by NUMBER on every request (no handle
+  // to hold), so a reader that wants to sit on epoch 0 through 20 churn
+  // epochs needs a snapshot ring deep enough to keep it resident.
+  opt.snapshot_capacity = 32;
   dynamic::DynamicConnectivity dc(g, opt);
-  std::printf("epoch 0: n=%zu, initial oracle built\n", n);
+  service::FacadeService<dynamic::DynamicConnectivity> conn_svc(dc);
+  const std::uint64_t pinned_epoch = conn_svc.info().epoch;
+  std::printf("epoch 0: n=%zu, initial oracle built (service: %s)\n", n,
+              service::facade_name(conn_svc.info().facade));
 
-  // A reader pins epoch 0 and never sees later churn.
-  const dynamic::BatchQueryEngine pinned(dc.snapshot());
-
-  std::vector<dynamic::VertexPair> queries;
+  std::vector<dynamic::MixedQuery> queries;
   std::uint64_t rs = 99;
   for (int i = 0; i < 10000; ++i) {
     rs = parallel::mix64(rs + 1);
     const auto u = vertex_id(rs % n);
     rs = parallel::mix64(rs);
-    queries.push_back({u, vertex_id(rs % n)});
+    queries.push_back(
+        {dynamic::MixedQuery::Kind::kConnected, u, vertex_id(rs % n)});
   }
-  const auto before = pinned.connected(queries);
+  // A reader pins epoch 0 (by number, not by handle — the service resolves
+  // the pin on every request) and never sees later churn.
+  const auto before = must_query(conn_svc, {pinned_epoch, queries});
 
   // Stream 20 batches of bond flips: insert fresh grid bonds, delete some
-  // previously inserted ones.
+  // previously inserted ones. Every batch is one ApplyRequest.
   amem::reset_phases();
   graph::EdgeList inserted;
   for (int round = 0; round < 20; ++round) {
-    dynamic::UpdateBatch batch;
+    service::ApplyRequest req;
     for (int i = 0; i < 64; ++i) {
       rs = parallel::mix64(rs + 7);
       const auto v = vertex_id(rs % (n - kSide - 1));
-      batch.insertions.push_back(
+      req.batch.insertions.push_back(
           {v, (rs & 1) ? vertex_id(v + 1) : vertex_id(v + kSide)});
     }
     if (round % 3 == 2) {  // every third batch also deletes
       for (int i = 0; i < 32 && !inserted.empty(); ++i) {
-        batch.deletions.push_back(inserted.back());
+        req.batch.deletions.push_back(inserted.back());
         inserted.pop_back();
       }
     }
-    const dynamic::UpdateReport r = dc.apply(batch);
-    for (const auto& e : batch.insertions) inserted.push_back(e);
+    const service::ApplyResult r = conn_svc.apply(req);
+    for (const auto& e : req.batch.insertions) inserted.push_back(e);
     std::printf(
-        "epoch %2llu: %-11s (+%zu/-%zu edges, dirty clusters=%zu, "
-        "relabeled=%zu)\n",
-        static_cast<unsigned long long>(r.epoch), path_name(r.path),
-        batch.insertions.size(), batch.deletions.size(), r.dirty_clusters,
-        r.relabeled_centers);
+        "epoch %2llu: %-11s (+%zu/-%zu edges, dirty clusters=%llu, "
+        "relabeled=%llu)\n",
+        static_cast<unsigned long long>(r.report.epoch),
+        path_name(r.report.path), req.batch.insertions.size(),
+        req.batch.deletions.size(),
+        static_cast<unsigned long long>(r.dirty_clusters),
+        static_cast<unsigned long long>(r.relabeled_centers));
   }
 
   // The pinned epoch still answers exactly as before the churn.
-  const auto after = pinned.connected(queries);
+  const auto after = must_query(conn_svc, {pinned_epoch, queries});
   std::size_t drift = 0;
   for (std::size_t i = 0; i < queries.size(); ++i) {
     if (before[i] != after[i]) ++drift;
@@ -106,44 +125,48 @@ int main() {
   std::printf("pinned epoch drift across 20 epochs: %zu of %zu queries\n",
               drift, queries.size());
 
-  // Current-epoch batch queries on the thread pool.
-  const dynamic::BatchQueryEngine live(dc.snapshot());
-  const auto answers = live.connected(queries);
+  // Current-epoch batch queries (kLatestEpoch pin) on the thread pool.
+  const auto answers =
+      must_query(conn_svc, {service::kLatestEpoch, queries});
   std::size_t connected_now = 0;
   for (const auto a : answers) connected_now += a;
   std::printf("current epoch %llu: %zu of %zu query pairs connected\n",
-              static_cast<unsigned long long>(dc.epoch()), connected_now,
-              queries.size());
+              static_cast<unsigned long long>(conn_svc.info().epoch),
+              connected_now, queries.size());
 
   // ---- Act 2: the same service shape for the full biconnectivity
-  // surface. Bond churn streams through DynamicBiconnectivity; a mixed
-  // query vector runs against a pinned epoch on the thread pool.
+  // surface — the identical request types, now against the facade that
+  // answers all five query kinds.
   dynamic::DynamicBiconnOptions bopt;
   bopt.oracle.k = 8;
   dynamic::DynamicBiconnectivity dbc(g, bopt);
+  service::FacadeService<dynamic::DynamicBiconnectivity> biconn_svc(dbc);
   graph::EdgeList binserted;
   for (int round = 0; round < 8; ++round) {
-    dynamic::UpdateBatch batch;
+    service::ApplyRequest req;
     for (int i = 0; i < 48; ++i) {
       rs = parallel::mix64(rs + 13);
       const auto v = vertex_id(rs % (n - kSide - 1));
-      batch.insertions.push_back(
+      req.batch.insertions.push_back(
           {v, (rs & 1) ? vertex_id(v + 1) : vertex_id(v + kSide)});
     }
     if (round % 2 == 1) {
       for (int i = 0; i < 24 && !binserted.empty(); ++i) {
-        batch.deletions.push_back(binserted.back());
+        req.batch.deletions.push_back(binserted.back());
         binserted.pop_back();
       }
     }
-    const dynamic::BiconnUpdateReport r = dbc.apply(batch);
-    for (const auto& e : batch.insertions) binserted.push_back(e);
+    const service::ApplyResult r = biconn_svc.apply(req);
+    for (const auto& e : req.batch.insertions) binserted.push_back(e);
     std::printf(
-        "biconn epoch %2llu: %-11s (+%zu/-%zu edges, absorbed=%zu, "
-        "patched bridges=%zu, dirty components=%zu)\n",
-        static_cast<unsigned long long>(r.epoch), path_name(r.path),
-        batch.insertions.size(), batch.deletions.size(), r.absorbed_edges,
-        r.patched_bridges, r.dirty_components);
+        "biconn epoch %2llu: %-11s (+%zu/-%zu edges, absorbed=%llu, "
+        "patched bridges=%llu, dirty components=%llu)\n",
+        static_cast<unsigned long long>(r.report.epoch),
+        path_name(r.report.path), req.batch.insertions.size(),
+        req.batch.deletions.size(),
+        static_cast<unsigned long long>(r.absorbed_edges),
+        static_cast<unsigned long long>(r.patched_bridges),
+        static_cast<unsigned long long>(r.dirty_components));
   }
 
   std::vector<dynamic::MixedQuery> mixed;
@@ -151,18 +174,19 @@ int main() {
     mixed.push_back({dynamic::MixedQuery::Kind(i % 5), queries[i].u,
                      queries[i].v});
   }
-  const dynamic::BiconnBatchQueryEngine bengine(dbc.snapshot());
-  const auto mixed_answers = bengine.answer(mixed);
+  const std::uint64_t biconn_epoch = biconn_svc.info().epoch;
+  const auto mixed_answers = must_query(biconn_svc, {biconn_epoch, mixed});
   std::size_t yes = 0;
   for (const auto a : mixed_answers) yes += a;
   std::printf(
       "biconn epoch %llu: %zu of %zu mixed probes answered true\n",
-      static_cast<unsigned long long>(dbc.epoch()), yes, mixed.size());
+      static_cast<unsigned long long>(biconn_epoch), yes, mixed.size());
 
   // ---- Act 3: durability. Checkpoint the biconn service, attach a WAL,
   // keep churning — then "crash" (drop every in-memory structure) and
-  // recover from disk. The recovered facade must answer the whole mixed
-  // query vector exactly as the one that died.
+  // recover from disk. The recovered facade, wrapped in a fresh
+  // FacadeService, must answer the whole mixed query vector exactly as
+  // the one that died.
   char dtmpl[] = "wecc-service-durable-XXXXXX";
   const char* dtmp = ::mkdtemp(dtmpl);
   if (dtmp == nullptr) {
@@ -174,21 +198,19 @@ int main() {
   persist::checkpoint(durable_dir, dbc);
   dbc.set_durability_log(persist::Wal::open(durable_dir));
 
-  std::vector<std::uint8_t> last_words;
-  std::uint64_t crash_epoch = 0;
   for (int round = 0; round < 6; ++round) {
-    dynamic::UpdateBatch batch;
+    service::ApplyRequest req;
     for (int i = 0; i < 48; ++i) {
       rs = parallel::mix64(rs + 29);
       const auto v = vertex_id(rs % (n - kSide - 1));
-      batch.insertions.push_back(
+      req.batch.insertions.push_back(
           {v, (rs & 1) ? vertex_id(v + 1) : vertex_id(v + kSide)});
     }
-    dbc.apply(batch);
+    biconn_svc.apply(req);
   }
-  crash_epoch = dbc.epoch();
-  last_words =
-      dynamic::BiconnBatchQueryEngine(dbc.snapshot()).answer(mixed);
+  const std::uint64_t crash_epoch = biconn_svc.info().epoch;
+  const auto last_words =
+      must_query(biconn_svc, {service::kLatestEpoch, mixed});
   const amem::StorageStats storage = amem::storage_snapshot();
   std::printf(
       "durable: epoch %llu on disk (%llu bytes in %llu appends, "
@@ -209,9 +231,12 @@ int main() {
       static_cast<unsigned long long>(rec.stats.replayed_batches),
       static_cast<unsigned long long>(rec.stats.recovered_epoch));
 
+  const service::FacadeService<dynamic::DynamicBiconnectivity> revived_svc(
+      *rec.facade);
   const auto revived =
-      dynamic::BiconnBatchQueryEngine(rec.facade->snapshot()).answer(mixed);
-  std::size_t mismatches = rec.facade->epoch() == crash_epoch ? 0 : 1;
+      must_query(revived_svc, {service::kLatestEpoch, mixed});
+  std::size_t mismatches =
+      revived_svc.info().epoch == crash_epoch ? 0 : 1;
   for (std::size_t i = 0; i < last_words.size(); ++i) {
     if (last_words[i] != revived[i]) ++mismatches;
   }

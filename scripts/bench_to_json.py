@@ -38,6 +38,13 @@ def distill(raw):
                 "wal_bytes_per_batch": b.get("wal_bytes_per_batch"),
                 "replayed_batches": b.get("replayed_batches"),
                 "bytes_per_second": b.get("bytes_per_second"),
+                # Service rows (wecc_loadgen): sustained throughput and the
+                # latency tail per op class over the live TCP server.
+                "ops_per_sec": b.get("ops_per_sec"),
+                "requests_per_sec": b.get("requests_per_sec"),
+                "p50_ns": b.get("p50_ns"),
+                "p99_ns": b.get("p99_ns"),
+                "p999_ns": b.get("p999_ns"),
                 "verified": b.get("verified"),
                 "error": b.get("error_message"),
             }

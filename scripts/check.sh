@@ -77,6 +77,28 @@ echo "== bench smoke: dynamic biconnectivity (self-verified vs rebuild) =="
 python3 scripts/bench_to_json.py "$BUILD_DIR/bench_dynamic_biconn_raw.json" \
   BENCH_dynamic_biconn.json
 
+echo "== service smoke: live server + verified loadgen =="
+# Boot wecc_server on an ephemeral port, hammer it with wecc_loadgen for a
+# couple of seconds (mixed readers + writer churn, sampled answers
+# cross-checked against an in-process Hopcroft–Tarjan oracle), then stop
+# the server. The loadgen exits nonzero on any mismatch or failed request,
+# and its google-benchmark-shaped output distills into BENCH_service.json.
+SERVICE_PORT_FILE="$BUILD_DIR/wecc_server.port"
+rm -f "$SERVICE_PORT_FILE"
+"$BUILD_DIR/wecc_server" --facade biconn --rows 30 --cols 30 --p 0.5 \
+  --port 0 --port-file "$SERVICE_PORT_FILE" &
+SERVICE_PID=$!
+trap 'kill "$SERVICE_PID" 2> /dev/null || true' EXIT
+"$BUILD_DIR/wecc_loadgen" --port-file "$SERVICE_PORT_FILE" \
+  --facade biconn --rows 30 --cols 30 --p 0.5 \
+  --readers 3 --duration-s 2 --verify-every 4 \
+  --json "$BUILD_DIR/bench_service_raw.json"
+kill -TERM "$SERVICE_PID"
+wait "$SERVICE_PID"
+trap - EXIT
+python3 scripts/bench_to_json.py "$BUILD_DIR/bench_service_raw.json" \
+  BENCH_service.json
+
 echo "== bench smoke: durability (snapshot / WAL / recovery / time-travel) =="
 "$BUILD_DIR/bench/bench_persist" \
   --benchmark_filter="$BENCH_FILTER" \

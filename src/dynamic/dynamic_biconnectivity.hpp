@@ -54,6 +54,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <future>
@@ -84,11 +85,9 @@ struct DynamicBiconnOptions {
   std::uint64_t first_epoch = 0;
 };
 
-/// What one apply() did — which path ran and how much it touched.
-struct BiconnUpdateReport {
-  using Path = UpdateReport::Path;
-  std::uint64_t epoch = 0;
-  Path path = Path::kFastInsert;
+/// What one apply() did — the shared base (epoch, path, counted
+/// reads/writes, wall clock) plus the biconnectivity-specific counters.
+struct BiconnUpdateReport : UpdateReportBase {
   std::size_t absorbed_edges = 0;    // fast path: intra-block / self-loop
   std::size_t patched_bridges = 0;   // fast path: component merges
   std::size_t dirty_components = 0;  // selective rebuild only
@@ -109,11 +108,16 @@ class DynamicBiconnectivity {
           32768,
           base_->num_vertices() / std::max<std::size_t>(1, opt_.oracle.k));
     }
-    const BiconnUpdateReport report{opt_.first_epoch,
-                                    BiconnUpdateReport::Path::kInitialBuild,
-                                    0, 0, 0};
+    BiconnUpdateReport report;
+    report.epoch = opt_.first_epoch;
+    report.path = BiconnUpdateReport::Path::kInitialBuild;
     publish_and_commit(stage_full_build(base_), report);
   }
+
+  /// Facade vocabulary the service layer templates over: the report type
+  /// apply()/compact() return and the snapshot type readers pin.
+  using report_type = BiconnUpdateReport;
+  using snapshot_type = BiconnSnapshot;
 
   [[nodiscard]] std::size_t num_vertices() const noexcept { return n_; }
   /// Latest published epoch; wait-free (reader-safe during rebuilds).
@@ -132,6 +136,14 @@ class DynamicBiconnectivity {
   /// The latest immutable snapshot (pin it; it never changes under you).
   [[nodiscard]] std::shared_ptr<const BiconnSnapshot> snapshot() const {
     return store_.current();
+  }
+
+  /// Pin the snapshot at an exact epoch; null if it was never published or
+  /// has been evicted from the ring. Uniform across both facades — the
+  /// service layer's epoch-pinned queries template over this spelling.
+  [[nodiscard]] std::shared_ptr<const BiconnSnapshot> snapshot_at(
+      std::uint64_t epoch) const {
+    return store_.at_epoch(epoch);
   }
 
   /// The current logical edge set (base + all applied batches), canonical
@@ -191,6 +203,7 @@ class DynamicBiconnectivity {
     const std::lock_guard<std::mutex> lock(write_mu_);
     batch.validate(num_vertices());
     validate_deletions_exist(working_, batch.deletions);
+    const auto start = std::chrono::steady_clock::now();
     const amem::Phase measure;
 
     BiconnUpdateReport report;
@@ -203,6 +216,7 @@ class DynamicBiconnectivity {
       if (plan_fast_insert(batch.insertions, staged, report)) {
         report.path = BiconnUpdateReport::Path::kFastInsert;
         apply_fast_insert(batch, std::move(staged), report, measure);
+        stamp_report(report, measure.delta(), start);
         return report;
       }
       report = BiconnUpdateReport{};  // discard fast-path planning counts
@@ -231,8 +245,10 @@ class DynamicBiconnectivity {
       return stage_selective_rebuild(std::move(staged), batch, report);
     }();
     if (failure_hook_) failure_hook_(report.path);
-    amem::accumulate_phase(phase_name, measure.delta());
+    const amem::Stats delta = measure.delta();
+    amem::accumulate_phase(phase_name, delta);
     log_and_publish(batch, std::move(next), report);
+    stamp_report(report, delta, start);
     return report;
   }
 
@@ -254,15 +270,19 @@ class DynamicBiconnectivity {
   /// Force a compaction (flatten overlay, full normalized rebuild) now.
   BiconnUpdateReport compact() {
     const std::lock_guard<std::mutex> lock(write_mu_);
+    const auto start = std::chrono::steady_clock::now();
     const amem::Phase measure;
-    const BiconnUpdateReport report{
-        epoch() + 1, BiconnUpdateReport::Path::kCompaction, 0, 0, 0};
+    BiconnUpdateReport report;
+    report.epoch = epoch() + 1;
+    report.path = BiconnUpdateReport::Path::kCompaction;
     Staged next = stage_compaction(working_);
     if (failure_hook_) failure_hook_(report.path);
-    amem::accumulate_phase("dynamic_biconn/compaction", measure.delta());
+    const amem::Stats delta = measure.delta();
+    amem::accumulate_phase("dynamic_biconn/compaction", delta);
     // Compaction advances the epoch without changing the edge set; log an
     // empty batch so the durable epoch sequence stays contiguous.
     log_and_publish(UpdateBatch{}, std::move(next), report);
+    stamp_report(report, delta, start);
     return report;
   }
 

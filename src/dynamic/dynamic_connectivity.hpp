@@ -49,6 +49,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <future>
@@ -93,10 +94,16 @@ class DynamicConnectivity {
           32768,
           base_->num_vertices() / std::max<std::size_t>(1, opt_.oracle.k));
     }
-    const UpdateReport report{opt_.first_epoch,
-                              UpdateReport::Path::kInitialBuild};
+    UpdateReport report;
+    report.epoch = opt_.first_epoch;
+    report.path = UpdateReport::Path::kInitialBuild;
     publish_and_commit(stage_full_build(base_), report);
   }
+
+  /// Facade vocabulary the service layer templates over: the report type
+  /// apply()/compact() return and the snapshot type readers pin.
+  using report_type = UpdateReport;
+  using snapshot_type = Snapshot;
 
   /// Fixed at construction (only edges are dynamic), so this is safe to
   /// call from reader threads without the writer lock.
@@ -119,6 +126,14 @@ class DynamicConnectivity {
   /// The latest immutable snapshot (pin it; it never changes under you).
   [[nodiscard]] std::shared_ptr<const Snapshot> snapshot() const {
     return store_.current();
+  }
+
+  /// Pin the snapshot at an exact epoch; null if it was never published or
+  /// has been evicted from the ring. Uniform across both facades — the
+  /// service layer's epoch-pinned queries template over this spelling.
+  [[nodiscard]] std::shared_ptr<const Snapshot> snapshot_at(
+      std::uint64_t epoch) const {
+    return store_.at_epoch(epoch);
   }
 
   /// The current logical edge set (base + all applied batches), canonical
@@ -167,6 +182,7 @@ class DynamicConnectivity {
     const std::lock_guard<std::mutex> lock(write_mu_);
     batch.validate(num_vertices());
     validate_deletions_exist(working_, batch.deletions);
+    const auto start = std::chrono::steady_clock::now();
     const amem::Phase measure;
 
     UpdateReport report;
@@ -182,6 +198,7 @@ class DynamicConnectivity {
             opt_.compact_threshold) {
       report.path = UpdateReport::Path::kFastInsert;
       apply_fast_insert(batch, report, measure);
+      stamp_report(report, measure.delta(), start);
       return report;
     }
 
@@ -212,8 +229,10 @@ class DynamicConnectivity {
     // allocates (bucket lookup), and nothing after it may throw once the
     // epoch publishes. publish_and_commit performs no counted accesses, so
     // the measured delta is still complete.
-    amem::accumulate_phase(phase_name, measure.delta());
+    const amem::Stats delta = measure.delta();
+    amem::accumulate_phase(phase_name, delta);
     log_and_publish(batch, std::move(next), report);
+    stamp_report(report, delta, start);
     return report;
   }
 
@@ -235,14 +254,19 @@ class DynamicConnectivity {
   /// strong exception guarantee as apply().
   UpdateReport compact() {
     const std::lock_guard<std::mutex> lock(write_mu_);
+    const auto start = std::chrono::steady_clock::now();
     const amem::Phase measure;
-    const UpdateReport report{epoch() + 1, UpdateReport::Path::kCompaction};
+    UpdateReport report;
+    report.epoch = epoch() + 1;
+    report.path = UpdateReport::Path::kCompaction;
     Staged next = stage_compaction(working_);
     if (failure_hook_) failure_hook_(report.path);
-    amem::accumulate_phase("dynamic/compaction", measure.delta());
+    const amem::Stats delta = measure.delta();
+    amem::accumulate_phase("dynamic/compaction", delta);
     // Compaction advances the epoch without changing the edge set; log an
     // empty batch so the durable epoch sequence stays contiguous.
     log_and_publish(UpdateBatch{}, std::move(next), report);
+    stamp_report(report, delta, start);
     return report;
   }
 

@@ -4,20 +4,25 @@
 // what-did-apply-do vocabulary of the dynamic facades.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
 #include <utility>
 
+#include "amem/counters.hpp"
 #include "graph/graph.hpp"
 
 namespace wecc::dynamic {
 
-/// What one DynamicConnectivity::apply() did — which path ran and how much
-/// it touched. The Path enum is shared with the biconnectivity facade's
-/// BiconnUpdateReport (same update-path taxonomy, different counters).
-struct UpdateReport {
+/// The fields every epoch-advancing operation reports, whichever facade ran
+/// it: which update path, what it cost in the asymmetric-memory model, and
+/// how long it took on the wall clock. UpdateReport (connectivity) and
+/// BiconnUpdateReport (biconnectivity) extend this base with their
+/// path-specific work counters; the service layer's ApplyResult folds the
+/// base across both facades so one wire shape serves either.
+struct UpdateReportBase {
   enum class Path : std::uint8_t {
     kInitialBuild,  // epoch-0 publish from the constructor
     kFastInsert,
@@ -26,6 +31,46 @@ struct UpdateReport {
   };
   std::uint64_t epoch = 0;
   Path path = Path::kFastInsert;
+  /// Counted asymmetric reads/writes the operation charged — the same
+  /// delta accumulated into the facade's "dynamic*/..." phase bucket, so
+  /// the process-wide caveat applies: concurrent instrumented readers land
+  /// in a running update's numbers too.
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  /// Wall-clock duration of the operation, microseconds.
+  std::uint64_t micros = 0;
+};
+
+/// Human-readable name of an update path (shared by the example service,
+/// the server log, and the load generator — one spelling, not one per
+/// binary).
+[[nodiscard]] constexpr const char* path_name(
+    UpdateReportBase::Path p) noexcept {
+  switch (p) {
+    case UpdateReportBase::Path::kInitialBuild: return "initial-build";
+    case UpdateReportBase::Path::kFastInsert: return "fast-insert";
+    case UpdateReportBase::Path::kSelectiveRebuild: return "selective";
+    case UpdateReportBase::Path::kCompaction: return "compaction";
+  }
+  return "?";
+}
+
+/// Fill a report's cost fields from the measured phase delta and the
+/// operation's start time — the one spelling both facades stamp reports
+/// with (called after publish, so the duration covers the whole operation).
+inline void stamp_report(UpdateReportBase& r, const amem::Stats& delta,
+                         std::chrono::steady_clock::time_point start) {
+  r.reads = delta.reads;
+  r.writes = delta.writes;
+  r.micros = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+/// What one DynamicConnectivity::apply() did — the shared base plus the
+/// connectivity-specific work counters.
+struct UpdateReport : UpdateReportBase {
   std::size_t dirty_clusters = 0;    // selective rebuild only
   std::size_t dirty_labels = 0;      // selective rebuild only
   std::size_t relabeled_centers = 0; // selective rebuild only

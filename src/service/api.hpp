@@ -1,0 +1,131 @@
+// wecc::service — the unified connectivity-as-a-service request/response
+// surface. One QueryRequest covers the whole query vocabulary (connected /
+// biconnected / 2-edge-connected / articulation / bridge, via
+// dynamic::MixedQuery) with an optional epoch pin; one ApplyRequest /
+// ApplyResult pair covers updates on either facade, folding the common
+// fields of UpdateReport and BiconnUpdateReport into the shared
+// UpdateReportBase. These types are the ONLY query/update entry point:
+// the in-process path (FacadeService in service.hpp, used by
+// examples/dynamic_service.cpp) and the wire path (protocol.hpp + server /
+// client) speak them identically — the server is a thin transport over the
+// same structs the tests exercise in-process.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dynamic/batch_query.hpp"
+#include "dynamic/update_batch.hpp"
+
+namespace wecc::service {
+
+/// Sentinel pin_epoch: answer against the latest published snapshot.
+inline constexpr std::uint64_t kLatestEpoch = ~std::uint64_t{0};
+
+/// Why a request could not be answered. Carried on QueryResponse and (over
+/// the wire) on error frames, so both transports fail the same way.
+enum class Status : std::uint8_t {
+  kOk = 0,
+  /// pin_epoch was never published or has been evicted from the snapshot
+  /// ring — the caller should re-pin a fresher epoch.
+  kEpochGone = 1,
+  /// The facade cannot answer this query kind (a connectivity-only service
+  /// was asked a biconnectivity question).
+  kUnsupported = 2,
+  /// Malformed request: endpoint out of [0, n), bad batch, bad frame.
+  kBadRequest = 3,
+};
+
+[[nodiscard]] constexpr const char* status_name(Status s) noexcept {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kEpochGone: return "epoch-gone";
+    case Status::kUnsupported: return "unsupported";
+    case Status::kBadRequest: return "bad-request";
+  }
+  return "?";
+}
+
+/// A vector of mixed queries, answered together against ONE snapshot:
+/// the exact epoch `pin_epoch` if given, else the latest at admission.
+struct QueryRequest {
+  std::uint64_t pin_epoch = kLatestEpoch;
+  std::vector<dynamic::MixedQuery> queries;
+};
+
+/// `answers[i]` is queries[i]'s boolean (0/1); `epoch` is the snapshot that
+/// answered, so a caller can pin it for follow-up queries. On any status
+/// other than kOk the answers are empty and epoch is 0.
+struct QueryResponse {
+  Status status = Status::kOk;
+  std::uint64_t epoch = 0;
+  std::vector<std::uint8_t> answers;
+};
+
+/// One epoch-advancing operation: apply `batch`, or (compact=true, batch
+/// empty) force a compaction. Identical against either facade.
+struct ApplyRequest {
+  bool compact = false;
+  dynamic::UpdateBatch batch;
+};
+
+/// What the operation did — the shared report base both facades stamp,
+/// plus every facade-specific counter (fields that do not apply to the
+/// serving facade are zero). One shape for both, so the wire format and
+/// the loadgen do not fork per facade.
+struct ApplyResult {
+  dynamic::UpdateReportBase report;
+  // DynamicConnectivity detail (zero when serving biconnectivity).
+  std::uint64_t dirty_clusters = 0;
+  std::uint64_t dirty_labels = 0;
+  std::uint64_t relabeled_centers = 0;
+  // DynamicBiconnectivity detail (zero when serving connectivity).
+  std::uint64_t absorbed_edges = 0;
+  std::uint64_t patched_bridges = 0;
+  std::uint64_t dirty_components = 0;
+};
+
+enum class FacadeKind : std::uint8_t {
+  kConnectivity = 0,
+  kBiconnectivity = 1,
+};
+
+[[nodiscard]] constexpr const char* facade_name(FacadeKind k) noexcept {
+  switch (k) {
+    case FacadeKind::kConnectivity: return "connectivity";
+    case FacadeKind::kBiconnectivity: return "biconnectivity";
+  }
+  return "?";
+}
+
+/// Static + current shape of a service, sent as the wire hello so clients
+/// can size their query streams without a side channel.
+struct ServiceInfo {
+  FacadeKind facade = FacadeKind::kConnectivity;
+  std::uint64_t num_vertices = 0;
+  std::uint64_t epoch = 0;
+  std::uint64_t snapshot_capacity = 0;
+};
+
+/// The service seam both transports plug into. FacadeService (service.hpp)
+/// implements it over a dynamic facade; Server (server.hpp) exposes any
+/// implementation over TCP. query() is const and safe to call from many
+/// reader threads concurrently; apply() may be called concurrently too
+/// (the facade serializes writers), but Server additionally funnels all
+/// wire applies through one writer thread so admission order is total.
+class ServiceHandler {
+ public:
+  ServiceHandler() = default;
+  ServiceHandler(const ServiceHandler&) = delete;
+  ServiceHandler& operator=(const ServiceHandler&) = delete;
+  virtual ~ServiceHandler() = default;
+
+  [[nodiscard]] virtual ServiceInfo info() const = 0;
+  [[nodiscard]] virtual QueryResponse query(const QueryRequest& req) const = 0;
+  /// Throws (std::out_of_range / std::invalid_argument from batch
+  /// validation) on malformed updates; the transport maps that to a
+  /// kBadRequest error frame.
+  virtual ApplyResult apply(const ApplyRequest& req) = 0;
+};
+
+}  // namespace wecc::service

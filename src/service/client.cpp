@@ -1,0 +1,53 @@
+#include "service/client.hpp"
+
+#include <utility>
+#include <variant>
+
+namespace wecc::service {
+
+Client Client::connect(const std::string& host, std::uint16_t port) {
+  Client client;
+  client.sock_ = net::connect_to(host, port);
+  wire::Message hello;
+  if (!wire::read_message(client.sock_, hello)) {
+    throw wire::ProtocolError("server closed connection before hello");
+  }
+  const auto* info = std::get_if<ServiceInfo>(&hello);
+  if (info == nullptr) {
+    throw wire::ProtocolError("expected hello frame, got another type");
+  }
+  client.info_ = *info;
+  return client;
+}
+
+wire::Message Client::round_trip(const wire::Message& request) {
+  wire::write_message(sock_, request);
+  wire::Message reply;
+  if (!wire::read_message(sock_, reply)) {
+    throw std::runtime_error("server closed connection mid-request");
+  }
+  if (const auto* err = std::get_if<wire::WireError>(&reply)) {
+    throw ServiceError(err->status, err->message);
+  }
+  return reply;
+}
+
+QueryResponse Client::query(const QueryRequest& request) {
+  wire::Message reply = round_trip(wire::Message(request));
+  auto* response = std::get_if<QueryResponse>(&reply);
+  if (response == nullptr) {
+    throw wire::ProtocolError("expected query reply, got another type");
+  }
+  return std::move(*response);
+}
+
+ApplyResult Client::apply(const ApplyRequest& request) {
+  wire::Message reply = round_trip(wire::Message(request));
+  const auto* result = std::get_if<ApplyResult>(&reply);
+  if (result == nullptr) {
+    throw wire::ProtocolError("expected apply reply, got another type");
+  }
+  return *result;
+}
+
+}  // namespace wecc::service

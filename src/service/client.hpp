@@ -1,0 +1,61 @@
+// Client: the blocking wire-side counterpart of FacadeService. Speaks the
+// exact same QueryRequest/ApplyRequest types — swapping a FacadeService for
+// a Client (or back) changes no call sites, which is the point of the
+// unified API. One Client is one TCP session: use it from one thread, and
+// open more clients for more reader threads (the loadgen does).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "service/api.hpp"
+#include "service/protocol.hpp"
+#include "service/socket.hpp"
+
+namespace wecc::service {
+
+/// The server answered with a kError frame (bad batch, server stopping…).
+/// The connection stays usable — the protocol stream is still framed.
+class ServiceError : public std::runtime_error {
+ public:
+  ServiceError(Status status, const std::string& message)
+      : std::runtime_error(std::string(status_name(status)) + ": " + message),
+        status_(status) {}
+  [[nodiscard]] Status status() const noexcept { return status_; }
+
+ private:
+  Status status_;
+};
+
+class Client {
+ public:
+  /// Connect and consume the server's hello. Throws std::runtime_error on
+  /// connection failure, ProtocolError on a malformed hello.
+  [[nodiscard]] static Client connect(const std::string& host,
+                                      std::uint16_t port);
+
+  /// The server's hello: facade kind, vertex count, epoch at connect.
+  [[nodiscard]] const ServiceInfo& info() const noexcept { return info_; }
+
+  /// Round-trip one query vector. Status problems that apply to the whole
+  /// request (kEpochGone, kUnsupported, kBadRequest) come back in the
+  /// response's status field, same as the in-process path.
+  [[nodiscard]] QueryResponse query(const QueryRequest& request);
+
+  /// Round-trip one update. Throws ServiceError if the server rejected it
+  /// (the wire analogue of FacadeService::apply throwing).
+  ApplyResult apply(const ApplyRequest& request);
+
+  void close() { sock_.close(); }
+
+ private:
+  Client() = default;
+
+  wire::Message round_trip(const wire::Message& request);
+
+  net::Socket sock_;
+  ServiceInfo info_;
+};
+
+}  // namespace wecc::service

@@ -1,0 +1,376 @@
+#include "service/protocol.hpp"
+
+#include <cstring>
+#include <limits>
+#include <utility>
+
+#include "persist/crc32.hpp"
+
+namespace wecc::service::wire {
+
+namespace {
+
+// ---- little-endian payload writer/reader ---------------------------------
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back(std::uint8_t(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back(std::uint8_t(v >> (8 * i)));
+  }
+  void bytes(const void* data, std::size_t len) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + len);
+  }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t(data_[pos_++]) << (8 * i);
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t(data_[pos_++]) << (8 * i);
+    return v;
+  }
+  std::span<const std::uint8_t> bytes(std::size_t len) {
+    need(len);
+    const auto out = data_.subspan(pos_, len);
+    pos_ += len;
+    return out;
+  }
+  /// Guard against element-count prefixes that promise more than the
+  /// payload holds, before any allocation sized by them.
+  void need_at_least(std::uint64_t count, std::size_t bytes_each) {
+    if (count > (data_.size() - pos_) / bytes_each) {
+      throw ProtocolError("payload element count exceeds payload size");
+    }
+  }
+  void expect_done() const {
+    if (pos_ != data_.size()) {
+      throw ProtocolError("trailing bytes in payload");
+    }
+  }
+
+ private:
+  void need(std::size_t len) {
+    if (data_.size() - pos_ < len) {
+      throw ProtocolError("truncated payload");
+    }
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+// ---- per-message payload codecs ------------------------------------------
+
+void put_edges(Writer& w, const graph::EdgeList& edges) {
+  w.u32(std::uint32_t(edges.size()));
+  for (const graph::Edge& e : edges) {
+    w.u32(e.u);
+    w.u32(e.v);
+  }
+}
+
+graph::EdgeList get_edges(Reader& r) {
+  const std::uint32_t count = r.u32();
+  r.need_at_least(count, 8);
+  graph::EdgeList edges;
+  edges.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const graph::vertex_id u = r.u32();
+    const graph::vertex_id v = r.u32();
+    edges.push_back({u, v});
+  }
+  return edges;
+}
+
+void put_payload(Writer& w, const ServiceInfo& m) {
+  w.u8(std::uint8_t(m.facade));
+  w.u64(m.num_vertices);
+  w.u64(m.epoch);
+  w.u64(m.snapshot_capacity);
+}
+
+ServiceInfo get_service_info(Reader& r) {
+  ServiceInfo m;
+  const std::uint8_t facade = r.u8();
+  if (facade > std::uint8_t(FacadeKind::kBiconnectivity)) {
+    throw ProtocolError("unknown facade kind");
+  }
+  m.facade = FacadeKind(facade);
+  m.num_vertices = r.u64();
+  m.epoch = r.u64();
+  m.snapshot_capacity = r.u64();
+  return m;
+}
+
+void put_payload(Writer& w, const QueryRequest& m) {
+  w.u64(m.pin_epoch);
+  w.u32(std::uint32_t(m.queries.size()));
+  for (const dynamic::MixedQuery& q : m.queries) {
+    w.u8(std::uint8_t(q.kind));
+    w.u32(q.u);
+    w.u32(q.v);
+  }
+}
+
+QueryRequest get_query_request(Reader& r) {
+  QueryRequest m;
+  m.pin_epoch = r.u64();
+  const std::uint32_t count = r.u32();
+  r.need_at_least(count, 9);
+  m.queries.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint8_t kind = r.u8();
+    if (kind > std::uint8_t(dynamic::MixedQuery::Kind::kBridge)) {
+      throw ProtocolError("unknown query kind");
+    }
+    const graph::vertex_id u = r.u32();
+    const graph::vertex_id v = r.u32();
+    m.queries.push_back({dynamic::MixedQuery::Kind(kind), u, v});
+  }
+  return m;
+}
+
+std::uint8_t checked_status(std::uint8_t raw) {
+  if (raw > std::uint8_t(Status::kBadRequest)) {
+    throw ProtocolError("unknown status code");
+  }
+  return raw;
+}
+
+void put_payload(Writer& w, const QueryResponse& m) {
+  w.u8(std::uint8_t(m.status));
+  w.u64(m.epoch);
+  w.u32(std::uint32_t(m.answers.size()));
+  if (!m.answers.empty()) w.bytes(m.answers.data(), m.answers.size());
+}
+
+QueryResponse get_query_response(Reader& r) {
+  QueryResponse m;
+  m.status = Status(checked_status(r.u8()));
+  m.epoch = r.u64();
+  const std::uint32_t count = r.u32();
+  const auto raw = r.bytes(count);
+  m.answers.assign(raw.begin(), raw.end());
+  return m;
+}
+
+void put_payload(Writer& w, const ApplyRequest& m) {
+  w.u8(m.compact ? 1 : 0);
+  put_edges(w, m.batch.insertions);
+  put_edges(w, m.batch.deletions);
+}
+
+ApplyRequest get_apply_request(Reader& r) {
+  ApplyRequest m;
+  const std::uint8_t compact = r.u8();
+  if (compact > 1) throw ProtocolError("bad compact flag");
+  m.compact = compact == 1;
+  m.batch.insertions = get_edges(r);
+  m.batch.deletions = get_edges(r);
+  return m;
+}
+
+void put_payload(Writer& w, const ApplyResult& m) {
+  w.u64(m.report.epoch);
+  w.u8(std::uint8_t(m.report.path));
+  w.u64(m.report.reads);
+  w.u64(m.report.writes);
+  w.u64(m.report.micros);
+  w.u64(m.dirty_clusters);
+  w.u64(m.dirty_labels);
+  w.u64(m.relabeled_centers);
+  w.u64(m.absorbed_edges);
+  w.u64(m.patched_bridges);
+  w.u64(m.dirty_components);
+}
+
+ApplyResult get_apply_result(Reader& r) {
+  ApplyResult m;
+  m.report.epoch = r.u64();
+  const std::uint8_t path = r.u8();
+  if (path > std::uint8_t(dynamic::UpdateReportBase::Path::kCompaction)) {
+    throw ProtocolError("unknown update path");
+  }
+  m.report.path = dynamic::UpdateReportBase::Path(path);
+  m.report.reads = r.u64();
+  m.report.writes = r.u64();
+  m.report.micros = r.u64();
+  m.dirty_clusters = r.u64();
+  m.dirty_labels = r.u64();
+  m.relabeled_centers = r.u64();
+  m.absorbed_edges = r.u64();
+  m.patched_bridges = r.u64();
+  m.dirty_components = r.u64();
+  return m;
+}
+
+void put_payload(Writer& w, const WireError& m) {
+  w.u8(std::uint8_t(m.status));
+  w.u32(std::uint32_t(m.message.size()));
+  w.bytes(m.message.data(), m.message.size());
+}
+
+WireError get_wire_error(Reader& r) {
+  WireError m;
+  m.status = Status(checked_status(r.u8()));
+  const std::uint32_t len = r.u32();
+  const auto raw = r.bytes(len);
+  m.message.assign(raw.begin(), raw.end());
+  return m;
+}
+
+void put_u32_at(std::vector<std::uint8_t>& buf, std::size_t off,
+                std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf[off + i] = std::uint8_t(v >> (8 * i));
+}
+
+std::uint32_t get_u32_at(std::span<const std::uint8_t> buf, std::size_t off) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t(buf[off + i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+MsgType type_of(const Message& msg) noexcept {
+  struct Visitor {
+    MsgType operator()(const ServiceInfo&) { return MsgType::kHello; }
+    MsgType operator()(const QueryRequest&) { return MsgType::kQuery; }
+    MsgType operator()(const QueryResponse&) { return MsgType::kQueryReply; }
+    MsgType operator()(const ApplyRequest&) { return MsgType::kApply; }
+    MsgType operator()(const ApplyResult&) { return MsgType::kApplyReply; }
+    MsgType operator()(const WireError&) { return MsgType::kError; }
+  };
+  return std::visit(Visitor{}, msg);
+}
+
+FrameHeader parse_header(std::span<const std::uint8_t> header) {
+  if (header.size() < kHeaderBytes) {
+    throw ProtocolError("truncated frame header");
+  }
+  if (get_u32_at(header, 0) != kMagic) {
+    throw ProtocolError("bad frame magic");
+  }
+  if (header[4] != kProtocolVersion) {
+    throw ProtocolError("unsupported protocol version");
+  }
+  const std::uint8_t type = header[5];
+  if (type < std::uint8_t(MsgType::kHello) ||
+      type > std::uint8_t(MsgType::kError)) {
+    throw ProtocolError("unknown message type");
+  }
+  if (header[6] != 0 || header[7] != 0) {
+    throw ProtocolError("reserved header bytes not zero");
+  }
+  FrameHeader out;
+  out.type = MsgType(type);
+  out.payload_len = get_u32_at(header, 8);
+  if (out.payload_len > kMaxPayloadBytes) {
+    throw ProtocolError("frame payload exceeds size cap");
+  }
+  out.crc = get_u32_at(header, 12);
+  return out;
+}
+
+std::vector<std::uint8_t> encode(const Message& msg) {
+  // One buffer: a zero header placeholder, then the payload, then the
+  // header fields patched in (the CRC needs the final header bytes).
+  Writer w;
+  for (std::size_t i = 0; i < kHeaderBytes; ++i) w.u8(0);
+  std::visit([&](const auto& m) { put_payload(w, m); }, msg);
+  std::vector<std::uint8_t> frame = w.take();
+
+  const std::size_t payload_len = frame.size() - kHeaderBytes;
+  put_u32_at(frame, 0, kMagic);
+  frame[4] = kProtocolVersion;
+  frame[5] = std::uint8_t(type_of(msg));
+  put_u32_at(frame, 8, std::uint32_t(payload_len));
+  std::uint32_t crc = persist::crc32(frame.data(), 12);
+  crc = persist::crc32(frame.data() + kHeaderBytes, payload_len, crc);
+  put_u32_at(frame, 12, crc);
+  return frame;
+}
+
+namespace {
+
+Message decode_payload(MsgType type, std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  Message out = [&]() -> Message {
+    switch (type) {
+      case MsgType::kHello: return get_service_info(r);
+      case MsgType::kQuery: return get_query_request(r);
+      case MsgType::kQueryReply: return get_query_response(r);
+      case MsgType::kApply: return get_apply_request(r);
+      case MsgType::kApplyReply: return get_apply_result(r);
+      case MsgType::kError: return get_wire_error(r);
+    }
+    throw ProtocolError("unknown message type");
+  }();
+  r.expect_done();
+  return out;
+}
+
+void check_crc(const FrameHeader& header,
+               std::span<const std::uint8_t> header_bytes,
+               std::span<const std::uint8_t> payload) {
+  std::uint32_t crc = persist::crc32(header_bytes.data(), 12);
+  crc = persist::crc32(payload.data(), payload.size(), crc);
+  if (crc != header.crc) throw ProtocolError("frame CRC mismatch");
+}
+
+}  // namespace
+
+Message decode(std::span<const std::uint8_t> frame) {
+  const FrameHeader header = parse_header(frame);
+  if (frame.size() != kHeaderBytes + header.payload_len) {
+    throw ProtocolError("frame length does not match payload length");
+  }
+  const auto payload = frame.subspan(kHeaderBytes, header.payload_len);
+  check_crc(header, frame.first(kHeaderBytes), payload);
+  return decode_payload(header.type, payload);
+}
+
+void write_message(net::Socket& sock, const Message& msg) {
+  const std::vector<std::uint8_t> frame = encode(msg);
+  sock.send_all(frame.data(), frame.size());
+}
+
+bool read_message(net::Socket& sock, Message& out) {
+  std::uint8_t header_bytes[kHeaderBytes];
+  if (!sock.recv_all(header_bytes, kHeaderBytes)) return false;
+  const FrameHeader header =
+      parse_header(std::span<const std::uint8_t>(header_bytes, kHeaderBytes));
+  std::vector<std::uint8_t> payload(header.payload_len);
+  if (header.payload_len > 0 &&
+      !sock.recv_all(payload.data(), payload.size())) {
+    throw ProtocolError("connection closed mid-frame");
+  }
+  check_crc(header, std::span<const std::uint8_t>(header_bytes, kHeaderBytes),
+            payload);
+  out = decode_payload(header.type, payload);
+  return true;
+}
+
+}  // namespace wecc::service::wire

@@ -1,0 +1,97 @@
+// The wecc service wire protocol: length-prefixed, CRC-checksummed binary
+// frames carrying the unified service API types (api.hpp) over TCP. The
+// byte-level spec lives in docs/serving.md; in short, every frame is
+//
+//   offset  size  field
+//        0     4  magic "WECS" (0x53434557 little-endian)
+//        4     1  protocol version (kProtocolVersion)
+//        5     1  message type (MsgType)
+//        6     2  reserved, must be zero
+//        8     4  payload length, bytes (LE)
+//       12     4  CRC-32 over header bytes [0, 12) ++ payload
+//
+// followed by `payload length` bytes of payload. All integers are
+// little-endian; the CRC is the same zlib-variant persist::crc32 the WAL
+// and snapshot files use. decode() re-validates everything — magic,
+// version, reserved bits, bounds, CRC, payload shape, trailing bytes —
+// and throws ProtocolError on any malformation, so a truncated or
+// bit-flipped frame can never be half-accepted (mirroring the WAL's
+// torn-tail discipline).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "service/api.hpp"
+#include "service/socket.hpp"
+
+namespace wecc::service::wire {
+
+inline constexpr std::uint32_t kMagic = 0x53434557u;  // "WECS" on the wire
+inline constexpr std::uint8_t kProtocolVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 16;
+/// Refuse frames beyond this payload size before allocating — a corrupt
+/// or hostile length prefix must not become a 4 GiB allocation.
+inline constexpr std::uint32_t kMaxPayloadBytes = 1u << 28;  // 256 MiB
+
+enum class MsgType : std::uint8_t {
+  kHello = 1,       // server -> client on connect: ServiceInfo
+  kQuery = 2,       // client -> server: QueryRequest
+  kQueryReply = 3,  // server -> client: QueryResponse
+  kApply = 4,       // client -> server: ApplyRequest
+  kApplyReply = 5,  // server -> client: ApplyResult
+  kError = 6,       // server -> client: WireError
+};
+
+/// A rejected request, as a frame: the status plus a human-readable cause
+/// (e.g. the batch validation exception's what()).
+struct WireError {
+  Status status = Status::kBadRequest;
+  std::string message;
+};
+
+/// Every payload the protocol can carry; the variant alternative implies
+/// the frame's MsgType (type_of).
+using Message = std::variant<ServiceInfo, QueryRequest, QueryResponse,
+                             ApplyRequest, ApplyResult, WireError>;
+
+[[nodiscard]] MsgType type_of(const Message& msg) noexcept;
+
+/// Any malformation of an incoming frame: bad magic/version, CRC mismatch,
+/// truncated or oversized payload, unknown enum value, trailing bytes.
+/// The connection that produced it cannot be resynchronized and must be
+/// closed.
+class ProtocolError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// The validated fixed-size header of one frame.
+struct FrameHeader {
+  MsgType type = MsgType::kError;
+  std::uint32_t payload_len = 0;
+  std::uint32_t crc = 0;
+};
+
+/// Parse and validate the 16-byte header (magic, version, reserved bits,
+/// known type, payload bound). The CRC is only *read* here — it covers the
+/// payload too, so decode()/read_frame() check it once the payload is in.
+[[nodiscard]] FrameHeader parse_header(std::span<const std::uint8_t> header);
+
+/// Encode a message into one complete frame (header + payload).
+[[nodiscard]] std::vector<std::uint8_t> encode(const Message& msg);
+
+/// Decode one complete frame, re-validating header, CRC, and payload
+/// shape. Throws ProtocolError on any malformation.
+[[nodiscard]] Message decode(std::span<const std::uint8_t> frame);
+
+/// Blocking frame I/O over a socket. read_message returns false on clean
+/// EOF at a frame boundary; mid-frame EOF or any malformation throws.
+void write_message(net::Socket& sock, const Message& msg);
+[[nodiscard]] bool read_message(net::Socket& sock, Message& out);
+
+}  // namespace wecc::service::wire

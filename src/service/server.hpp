@@ -1,0 +1,66 @@
+// Server: the TCP frontend over any ServiceHandler. The threading model is
+// the paper's asymmetric serving shape made literal:
+//
+//   * an accept thread admits connections;
+//   * one session thread per connection — the "N reader threads" — answers
+//     kQuery frames inline (each query pins its snapshot inside the
+//     handler, so readers never block the writer or each other);
+//   * ONE writer thread drains every kApply frame from a FIFO admission
+//     queue, so updates are totally ordered at the server even across
+//     sessions (the facade's writer lock already serializes them; the
+//     queue makes the order deterministic and keeps session threads free
+//     to answer queries while an apply builds).
+//
+// A handler exception (e.g. batch validation) becomes a kError frame on
+// that session; a malformed frame closes the connection (ProtocolError is
+// not resynchronizable). stop() — also run by the destructor — shuts the
+// listener and every session socket down and joins all threads.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "service/api.hpp"
+
+namespace wecc::service {
+
+struct ServerOptions {
+  std::string bind_address = "127.0.0.1";
+  /// 0 = pick an ephemeral port; read it back with port().
+  std::uint16_t port = 0;
+  int backlog = 64;
+};
+
+class Server {
+ public:
+  /// Binds and starts serving immediately. `handler` must outlive the
+  /// server. Throws std::runtime_error if the port cannot be bound.
+  Server(ServiceHandler& handler, ServerOptions opt = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The bound port (the actual one when options asked for 0).
+  [[nodiscard]] std::uint16_t port() const noexcept;
+
+  /// Idempotent orderly shutdown: stop accepting, unblock and join every
+  /// session, drain the writer (in-flight applies finish; queued ones are
+  /// failed), join all threads.
+  void stop();
+
+  struct Stats {
+    std::uint64_t sessions = 0;
+    std::uint64_t queries = 0;
+    std::uint64_t applies = 0;
+    std::uint64_t protocol_errors = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace wecc::service

@@ -1,0 +1,67 @@
+// Minimal POSIX TCP helpers for the service layer: an RAII socket with
+// exact-length send/recv, plus connect/listen/accept wrappers. Loopback
+// serving and the loadgen need nothing fancier; errors surface as
+// std::runtime_error carrying errno text.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace wecc::service::net {
+
+/// An owned socket file descriptor. Move-only; closes on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) noexcept : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+  void close() noexcept;
+  /// Shut down both directions without closing the fd — unblocks a peer
+  /// (or one of our own threads) parked in recv on this socket. Safe to
+  /// call from another thread while a recv is in flight.
+  void shutdown() noexcept;
+
+  /// Write exactly `len` bytes (retrying short writes / EINTR). Throws
+  /// std::runtime_error if the peer is gone.
+  void send_all(const void* data, std::size_t len);
+
+  /// Read exactly `len` bytes. Returns false on clean EOF before the
+  /// first byte; throws on errors or EOF mid-record.
+  [[nodiscard]] bool recv_all(void* data, std::size_t len);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Connect to host:port (numeric IPv4 dotted quad or a resolvable name).
+[[nodiscard]] Socket connect_to(const std::string& host, std::uint16_t port);
+
+/// Bind + listen on address:port; port 0 picks an ephemeral port (read it
+/// back with local_port).
+[[nodiscard]] Socket listen_on(const std::string& address, std::uint16_t port,
+                               int backlog);
+
+/// Accept one connection. Returns an invalid socket when the listener has
+/// been shut down (the orderly way to stop an accept loop).
+[[nodiscard]] Socket accept_on(Socket& listener);
+
+[[nodiscard]] std::uint16_t local_port(const Socket& sock);
+
+}  // namespace wecc::service::net

@@ -365,18 +365,24 @@ TEST(RaceHunt, BiconnectivityWriterVsReaders) {
           break;
         case dynamic::MixedQuery::Kind::kBiconnected:
           ASSERT_EQ(got, snap->biconnected(q.u, q.v));
-          if (got) ASSERT_TRUE(snap->connected(q.u, q.v));
+          if (got) {
+            ASSERT_TRUE(snap->connected(q.u, q.v));
+          }
           break;
         case dynamic::MixedQuery::Kind::kTwoEdgeConnected:
           ASSERT_EQ(got, snap->two_edge_connected(q.u, q.v));
-          if (got) ASSERT_TRUE(snap->connected(q.u, q.v));
+          if (got) {
+            ASSERT_TRUE(snap->connected(q.u, q.v));
+          }
           break;
         case dynamic::MixedQuery::Kind::kArticulation:
           ASSERT_EQ(got, snap->is_articulation(q.u));
           break;
         case dynamic::MixedQuery::Kind::kBridge:
           ASSERT_EQ(got, snap->is_bridge(q.u, q.v));
-          if (got && q.u != q.v) ASSERT_TRUE(snap->connected(q.u, q.v));
+          if (got && q.u != q.v) {
+            ASSERT_TRUE(snap->connected(q.u, q.v));
+          }
           break;
       }
     }

@@ -60,6 +60,12 @@
 #include "primitives/list_ranking.hpp"
 #include "primitives/small_biconn.hpp"
 #include "primitives/union_find.hpp"
+#include "service/api.hpp"
+#include "service/client.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+#include "service/service.hpp"
+#include "service/socket.hpp"
 
 namespace wecc {
 
