@@ -45,6 +45,14 @@ def distill(raw):
                 "p50_ns": b.get("p50_ns"),
                 "p99_ns": b.get("p99_ns"),
                 "p999_ns": b.get("p999_ns"),
+                # Rebuild rows (bench_rebuild): the sharded selective
+                # rebuild's execution shape and its speedup over the
+                # 1-thread row of the same (n, B).
+                "rebuild_ms": b.get("rebuild_ms"),
+                "dirty_clusters": b.get("dirty_clusters"),
+                "shards": b.get("shards"),
+                "threads": b.get("threads"),
+                "speedup_vs_1thread": b.get("speedup_vs_1thread"),
                 "verified": b.get("verified"),
                 "error": b.get("error_message"),
             }

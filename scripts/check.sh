@@ -19,7 +19,10 @@
 #        WECC_BUILD_TYPE overrides the CMake build type (default
 #        RelWithDebInfo; the CI -Werror legs set Release);
 #        WECC_WERROR=ON turns warnings into errors across every target;
-#        WECC_BENCH_SMOKE_FILTER overrides the dynamic-bench row filter.
+#        WECC_BENCH_SMOKE_FILTER overrides the dynamic-bench row filter;
+#        WECC_REBUILD_SMOKE_FILTER overrides the bench_rebuild row filter
+#        (default: the small /10000/ rows — the CI rebuild leg runs the
+#        full n=100k rows and WECC_REBUILD_THREADS picks its worker count).
 #        Under WECC_SANITIZE=thread it defaults to the narrowed /100000/64
 #        rows, mirroring what the asan CI job sets explicitly — sanitized
 #        full-rebuild baselines are ~10x slower than plain builds. ccache
@@ -34,6 +37,11 @@ BUILD_DIR="${1:-build}"
 if [[ -z "${WECC_BENCH_SMOKE_FILTER:-}" && \
       "${WECC_SANITIZE:-}" == *thread* ]]; then
   WECC_BENCH_SMOKE_FILTER='/100000/64(/|$)'
+fi
+# Same narrowing for the rebuild smoke: one sanitized row is enough to
+# catch a broken bench build; the CI rebuild leg owns the full matrix.
+if [[ -z "${WECC_REBUILD_SMOKE_FILTER:-}" && -n "${WECC_SANITIZE:-}" ]]; then
+  WECC_REBUILD_SMOKE_FILTER='/10000/64/1/'
 fi
 BENCH_FILTER="${WECC_BENCH_SMOKE_FILTER:-/100000(/|\$)}"
 
@@ -76,6 +84,14 @@ echo "== bench smoke: dynamic biconnectivity (self-verified vs rebuild) =="
   --benchmark_out_format=json
 python3 scripts/bench_to_json.py "$BUILD_DIR/bench_dynamic_biconn_raw.json" \
   BENCH_dynamic_biconn.json
+
+echo "== bench smoke: parallel selective rebuilds (small rows; CI's rebuild leg runs n=100k) =="
+"$BUILD_DIR/bench/bench_rebuild" \
+  --benchmark_filter="${WECC_REBUILD_SMOKE_FILTER:-/10000/}" \
+  --benchmark_out="$BUILD_DIR/bench_rebuild_raw.json" \
+  --benchmark_out_format=json
+python3 scripts/bench_to_json.py "$BUILD_DIR/bench_rebuild_raw.json" \
+  BENCH_rebuild.json
 
 echo "== service smoke: live server + verified loadgen =="
 # Boot wecc_server on an ephemeral port, hammer it with wecc_loadgen for a

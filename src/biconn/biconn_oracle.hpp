@@ -44,6 +44,7 @@
 #include "biconn/bc_labeling.hpp"
 #include "decomp/clusters_graph.hpp"
 #include "parallel/parallel_for.hpp"
+#include "parallel/shard.hpp"
 #include "primitives/blocked_lca.hpp"
 #include "primitives/small_biconn.hpp"
 
@@ -53,12 +54,28 @@ struct BiconnOracleOptions {
   std::size_t k = 8;  // callers pass floor(sqrt(omega)), min 2
   std::uint64_t seed = 1;
   std::size_t max_fixpoint_rounds = 32;
-  /// §5.4: run the per-cluster construction passes (cluster labeling,
-  /// fixpoint sweeps, bit finalization) in parallel. Fixpoint rounds
-  /// become Jacobi-style (views read the round-start DSU; merges apply
-  /// after the round), which reaches the same least fixpoint — query
-  /// answers are identical to sequential mode (tested).
+  /// §5.4: run the per-cluster construction passes (boundary-cache fill,
+  /// cluster labeling, fixpoint sweeps, bit finalization) in parallel.
+  /// Fixpoint rounds become Jacobi-style (views read the round-start DSU;
+  /// merges apply after the round), which reaches the same least fixpoint —
+  /// query answers are identical to sequential mode (tested).
   bool parallel = false;
+  /// Worker count for those passes: 0 = auto (the pool size when
+  /// `parallel`, else 1); any value >= 2 turns the parallel discipline on
+  /// regardless of `parallel`. Published output is identical for every
+  /// thread count (per-cluster results land in disjoint slots; cross-
+  /// cluster merges apply serially in cluster order) — the determinism
+  /// contract the dynamic facades' rebuild_threads knob rides on.
+  std::size_t threads = 0;
+};
+
+/// Execution telemetry of one build_reusing call, surfaced through the
+/// dynamic facades' update reports and the rebuild bench rows.
+struct BiconnRebuildStats {
+  std::size_t dirty_clusters = 0;  // clusters whose state was re-derived
+  std::size_t total_clusters = 0;
+  std::size_t threads = 0;  // resolved worker count
+  std::size_t shards = 0;   // shard partition of the per-cluster passes
 };
 
 /// A globally unique biconnected-component id. Spanning blocks are named by
@@ -105,10 +122,12 @@ class BiconnectivityOracle {
   /// Cost: O(n/k) writes for the copies + forest/LCA rebuild, graph
   /// traversal only inside dirty components (O(|dirty| k^2) expected per
   /// dirty cluster), vs O(nk) operations for a from-scratch build.
+  /// `stats`, when non-null, receives the rebuild's execution shape.
   static BiconnectivityOracle build_reusing(
       const G& g, const BiconnOracleOptions& opt,
       const BiconnectivityOracle& old,
-      const std::unordered_set<graph::vertex_id>& dirty_components);
+      const std::unordered_set<graph::vertex_id>& dirty_components,
+      BiconnRebuildStats* stats = nullptr);
 
   [[nodiscard]] const decomp::ImplicitDecomposition<G>& decomposition()
       const noexcept {
@@ -197,28 +216,63 @@ class BiconnectivityOracle {
     return rc == nullptr || rc->dirty[ci] != 0;
   }
 
-  // ---- construction stages (defined in biconn_oracle_impl.hpp) ----
-  void build_clusters_forest(const ReuseContext* rc);
-  void build_cluster_labeling(bool parallel, const ReuseContext* rc);
-  void run_fixpoints(std::size_t max_rounds, bool parallel,
-                     const ReuseContext* rc);
-  void finalize_bits(bool parallel, const ReuseContext* rc);
+  // ---- build-scoped scratch cache ----
+  /// One boundary-edge instance as ClustersGraph::for_boundary_edges emits
+  /// it: neighbor cluster cj, endpoint u in this cluster, w in cj's.
+  struct BoundaryInstance {
+    vid cj;
+    vid u;
+    vid w;
+  };
+  /// Per-cluster scratch materialized once per construction and consumed
+  /// by every pass that would otherwise re-enumerate the cluster (forest
+  /// BFS, w'/W', cc_minus, and each local_view — up to ~6 enumerations per
+  /// cluster, each O(k^2) expected with O(k) rho calls). Filled in
+  /// parallel over dirty clusters only; a cluster's entry is a
+  /// deterministic function of (subgraph, center set), so replays are
+  /// instance-for-instance identical to live enumeration whatever the
+  /// thread count. Uncounted symmetric scratch by the same convention as
+  /// LocalView: the underlying graph reads are charged once at fill time
+  /// (the live path charged them per enumeration); counted writes are
+  /// unchanged. Unlike per-task scratch its footprint is O(sum of dirty
+  /// boundary degrees), a documented deviation (docs/parallel_rebuild.md).
+  struct BuildCache {
+    std::vector<std::uint8_t> cached;  // per cluster: entry valid?
+    std::vector<std::vector<vid>> members;
+    std::vector<std::vector<BoundaryInstance>> boundary;
+  };
+  void fill_build_cache(BuildCache& cache, std::size_t threads,
+                        const ReuseContext* rc) const;
 
-  /// Run fn(ci) over clusters, parallel or sequential.
+  /// Enumerate ci's boundary edges from the build cache when present,
+  /// falling back to the live (query-time) enumeration.
   template <typename F>
-  void over_clusters(bool parallel, F&& fn) const {
-    if (!parallel || nc_ < 2) {
-      for (std::size_t ci = 0; ci < nc_; ++ci) fn(ci);
+  void for_boundary_cached(const decomp::ClustersGraph<G>& cg, vid ci,
+                           F&& fn) const {
+    if (cache_ != nullptr && cache_->cached[ci]) {
+      for (const BoundaryInstance& b : cache_->boundary[ci]) {
+        fn(b.cj, b.u, b.w);
+      }
       return;
     }
-    const std::size_t nb =
-        std::min<std::size_t>(wecc::parallel::num_threads() * 4, nc_);
-    const std::size_t block = (nc_ + nb - 1) / nb;
-    wecc::parallel::detail::run_tasks(nb, [&](std::size_t b) {
-      const std::size_t lo = b * block;
-      const std::size_t hi = std::min(nc_, lo + block);
-      for (std::size_t ci = lo; ci < hi; ++ci) fn(ci);
-    });
+    cg.for_boundary_edges(ci, fn);
+  }
+
+  // ---- construction stages (defined in biconn_oracle_impl.hpp) ----
+  void build_clusters_forest(const ReuseContext* rc);
+  void build_cluster_labeling(std::size_t threads, const ReuseContext* rc);
+  void run_fixpoints(std::size_t max_rounds, std::size_t threads,
+                     const ReuseContext* rc);
+  void finalize_bits(std::size_t threads, const ReuseContext* rc);
+  void run_construction(const BiconnOracleOptions& opt,
+                        const ReuseContext* rc, BiconnRebuildStats* stats);
+
+  /// Run fn(ci) over clusters on `threads` workers (<= 1: sequential).
+  /// fn writes only slots owned by ci, keeping the result independent of
+  /// the thread count; exceptions propagate to the caller (shard.hpp).
+  template <typename F>
+  void over_clusters(std::size_t threads, F&& fn) const {
+    wecc::parallel::sharded_for(nc_, threads, fn);
   }
 
   // ---- local views ----
@@ -287,6 +341,11 @@ class BiconnectivityOracle {
 
   Decomp decomp_;
   std::size_t nc_ = 0;  // number of (real) clusters
+
+  /// Non-null only while run_construction executes (local_view and the
+  /// boundary passes consult it); always null on finished oracles, so
+  /// copies/moves never carry a dangling pointer.
+  const BuildCache* cache_ = nullptr;
 
   // Clusters forest (all indexed by cluster index).
   std::vector<vid> cparent_;        // parent cluster (self for roots)

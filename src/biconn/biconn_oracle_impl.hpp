@@ -19,15 +19,21 @@ BiconnectivityOracle<G> BiconnectivityOracle<G>::build(
   return from_decomposition(Decomp::build(g, dopt), opt);
 }
 
+namespace detail {
+/// Resolve BiconnOracleOptions' worker count: an explicit `threads` wins,
+/// otherwise `parallel` selects between the pool size and serial.
+inline std::size_t build_threads(const BiconnOracleOptions& opt) {
+  if (opt.threads >= 1) return opt.threads;
+  return opt.parallel ? wecc::parallel::num_threads() : 1;
+}
+}  // namespace detail
+
 template <graph::GraphView G>
 BiconnectivityOracle<G> BiconnectivityOracle<G>::from_decomposition(
     decomp::ImplicitDecomposition<G> d, const BiconnOracleOptions& opt) {
   BiconnectivityOracle o(std::move(d));
   o.nc_ = o.decomp_.center_list().size();
-  o.build_clusters_forest(nullptr);
-  o.build_cluster_labeling(opt.parallel, nullptr);
-  o.run_fixpoints(opt.max_fixpoint_rounds, opt.parallel, nullptr);
-  o.finalize_bits(opt.parallel, nullptr);
+  o.run_construction(opt, nullptr, nullptr);
   return o;
 }
 
@@ -35,7 +41,8 @@ template <graph::GraphView G>
 BiconnectivityOracle<G> BiconnectivityOracle<G>::build_reusing(
     const G& g, const BiconnOracleOptions& opt,
     const BiconnectivityOracle& old,
-    const std::unordered_set<graph::vertex_id>& dirty_components) {
+    const std::unordered_set<graph::vertex_id>& dirty_components,
+    BiconnRebuildStats* stats) {
   decomp::DecompOptions dopt;
   dopt.k = opt.k;
   dopt.seed = opt.seed;
@@ -56,11 +63,79 @@ BiconnectivityOracle<G> BiconnectivityOracle<G>::build_reusing(
     rc.dirty[ci] =
         dirty_components.count(centers[old.ccomp_[ci]]) != 0 ? 1 : 0;
   }
-  o.build_clusters_forest(&rc);
-  o.build_cluster_labeling(opt.parallel, &rc);
-  o.run_fixpoints(opt.max_fixpoint_rounds, opt.parallel, &rc);
-  o.finalize_bits(opt.parallel, &rc);
+  o.run_construction(opt, &rc, stats);
   return o;
+}
+
+template <graph::GraphView G>
+void BiconnectivityOracle<G>::run_construction(const BiconnOracleOptions& opt,
+                                               const ReuseContext* rc,
+                                               BiconnRebuildStats* stats) {
+  const std::size_t threads = detail::build_threads(opt);
+  // Materialize the per-cluster scratch up front — the embarrassingly
+  // parallel part — then run the pipeline against it. The cache pointer is
+  // cleared before returning (and by stack unwinding the cache itself dies
+  // with any exception, after the sharded loops have joined), so finished
+  // oracles never reference it.
+  BuildCache cache;
+  {
+    const amem::ScopedPhase phase("biconn_build/cache_fill");
+    fill_build_cache(cache, threads, rc);
+  }
+  cache_ = &cache;
+  try {
+    {
+      const amem::ScopedPhase phase("biconn_build/forest");
+      build_clusters_forest(rc);
+    }
+    {
+      const amem::ScopedPhase phase("biconn_build/labeling");
+      build_cluster_labeling(threads, rc);
+    }
+    {
+      const amem::ScopedPhase phase("biconn_build/fixpoints");
+      run_fixpoints(opt.max_fixpoint_rounds, threads, rc);
+    }
+    {
+      const amem::ScopedPhase phase("biconn_build/bits");
+      finalize_bits(threads, rc);
+    }
+  } catch (...) {
+    cache_ = nullptr;
+    throw;
+  }
+  cache_ = nullptr;
+  if (stats != nullptr) {
+    stats->total_clusters = nc_;
+    stats->dirty_clusters = nc_;
+    if (rc != nullptr) {
+      stats->dirty_clusters = std::size_t(
+          std::count(rc->dirty.begin(), rc->dirty.end(), std::uint8_t(1)));
+    }
+    stats->threads = threads;
+    stats->shards = wecc::parallel::shard_count(nc_, threads);
+  }
+}
+
+template <graph::GraphView G>
+void BiconnectivityOracle<G>::fill_build_cache(BuildCache& cache,
+                                               std::size_t threads,
+                                               const ReuseContext* rc) const {
+  const decomp::ClustersGraph<G> cg(decomp_);
+  cache.cached.assign(nc_, 0);
+  cache.members.assign(nc_, {});
+  cache.boundary.assign(nc_, {});
+  over_clusters(threads, [&](std::size_t ci) {
+    if (!is_dirty(rc, ci)) return;  // clean clusters are never enumerated
+    const vid s = decomp_.center_list()[ci];
+    amem::count_read();
+    decomp::ClusterInfo c = decomp_.cluster(s);
+    cg.for_boundary_edges_of(c, s, [&](vid cj, vid u, vid w) {
+      cache.boundary[ci].push_back({cj, u, w});
+    });
+    cache.members[ci] = std::move(c.members);
+    cache.cached[ci] = 1;
+  });
 }
 
 template <graph::GraphView G>
@@ -98,7 +173,7 @@ void BiconnectivityOracle<G>::build_clusters_forest(const ReuseContext* rc) {
     while (!frontier.empty()) {
       next.clear();
       for (const vid ci : frontier) {
-        cg.for_boundary_edges(ci, [&](vid cj, vid u, vid w) {
+        for_boundary_cached(cg, ci, [&](vid cj, vid u, vid w) {
           if (cparent_[cj] != kNo) return;
           // Dirty components only merge with dirty components (edges only
           // changed inside the dirty set), so the restricted BFS never
@@ -138,7 +213,7 @@ void BiconnectivityOracle<G>::build_clusters_forest(const ReuseContext* rc) {
 }
 
 template <graph::GraphView G>
-void BiconnectivityOracle<G>::build_cluster_labeling(bool parallel,
+void BiconnectivityOracle<G>::build_cluster_labeling(std::size_t threads,
                                                      const ReuseContext* rc) {
   // BC labeling of the implicit clusters multigraph against the provenance
   // forest. The only non-obvious bit is instance-aware tree-edge skipping:
@@ -163,7 +238,7 @@ void BiconnectivityOracle<G>::build_cluster_labeling(bool parallel,
 
   // w'/W' per cluster.
   std::vector<std::uint32_t> wlo(nc_), whi(nc_);
-  over_clusters(parallel, [&](std::size_t ci) {
+  over_clusters(threads, [&](std::size_t ci) {
     if (!is_dirty(rc, ci)) {
       // Neutral leaffix seed; the result is never read for clean clusters.
       wlo[ci] = whi[ci] = ctree().first[ci];
@@ -173,7 +248,7 @@ void BiconnectivityOracle<G>::build_cluster_labeling(bool parallel,
     bool skipped_parent = false;
     std::vector<std::uint8_t> skipped_child(children_off_[ci + 1] -
                                             children_off_[ci]);
-    cg.for_boundary_edges(vid(ci), [&](vid cj, vid u, vid w) {
+    for_boundary_cached(cg, vid(ci), [&](vid cj, vid u, vid w) {
       if (is_tree_instance(vid(ci), cj, u, w)) {
         if (cparent_[cj] == vid(ci)) {
           const std::uint32_t slot = child_slot(vid(ci), cj);
@@ -242,7 +317,7 @@ void BiconnectivityOracle<G>::build_cluster_labeling(bool parallel,
       while (!frontier.empty()) {
         next.clear();
         for (const vid ci : frontier) {
-          cg.for_boundary_edges(ci, [&](vid cj, vid, vid) {
+          for_boundary_cached(cg, ci, [&](vid cj, vid, vid) {
             if ((cparent_[cj] == ci && removed[cj]) ||
                 (cparent_[ci] == cj && removed[ci])) {
               return;
@@ -265,7 +340,7 @@ void BiconnectivityOracle<G>::build_cluster_labeling(bool parallel,
 
 template <graph::GraphView G>
 void BiconnectivityOracle<G>::run_fixpoints(std::size_t max_rounds,
-                                            bool parallel,
+                                            std::size_t threads,
                                             const ReuseContext* rc) {
   // Under a ReuseContext, clean clusters keep their converged DSU entries
   // (cluster indices are stable, and a DSU chain never leaves its
@@ -299,7 +374,7 @@ void BiconnectivityOracle<G>::run_fixpoints(std::size_t max_rounds,
   const auto sweep = [&](std::vector<std::uint32_t>& dsu, bool tecc) {
     std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>>
         pairs(nc_);
-    over_clusters(parallel, [&](std::size_t ci) {
+    over_clusters(threads, [&](std::size_t ci) {
       if (!is_dirty(rc, ci)) return;
       const LocalView lv = local_view(ci, tecc, /*extra_lprime=*/true);
       // (element, group key): key = local block of the edge instance, or
@@ -358,7 +433,7 @@ void BiconnectivityOracle<G>::run_fixpoints(std::size_t max_rounds,
 }
 
 template <graph::GraphView G>
-void BiconnectivityOracle<G>::finalize_bits(bool parallel,
+void BiconnectivityOracle<G>::finalize_bits(std::size_t threads,
                                             const ReuseContext* rc) {
   up_ok_.assign(nc_, 1);
   bridge_up_ok_.assign(nc_, 1);
@@ -380,7 +455,7 @@ void BiconnectivityOracle<G>::finalize_bits(bool parallel,
     }
   }
 
-  over_clusters(parallel, [&](std::size_t ci) {
+  over_clusters(threads, [&](std::size_t ci) {
     if (!is_dirty(rc, ci)) {
       // Per-cluster internal-block count, recovered from the old prefix.
       internal_off_[ci + 1] =

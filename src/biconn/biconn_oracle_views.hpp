@@ -23,8 +23,12 @@ BiconnectivityOracle<G>::local_view(std::size_t ci, bool use_tecc_equiv,
   LocalView lv;
   const vid s = decomp_.center_list()[ci];
   amem::count_read();
-  const decomp::ClusterInfo c = decomp_.cluster(s);
-  lv.members = c.members;
+  const bool from_cache = cache_ != nullptr && cache_->cached[ci] != 0;
+  if (from_cache) {
+    lv.members = cache_->members[ci];
+  } else {
+    lv.members = decomp_.cluster(s).members;
+  }
   amem::SymScratch scratch(4 * lv.members.size() + 8);
   for (std::uint32_t i = 0; i < lv.members.size(); ++i) {
     lv.member_idx.emplace(lv.members[i], i);
@@ -49,6 +53,20 @@ BiconnectivityOracle<G>::local_view(std::size_t ci, bool use_tecc_equiv,
   }
   std::vector<std::uint8_t> child_used(nch, 0);
   bool parent_used = false;
+
+  // Redirect lookup for category-3 instances: during a construction the
+  // build cache already rho'd every boundary instance of this cluster, so
+  // key them by graph edge and skip the per-instance rho. Misses fall back
+  // to the live rho — for_boundary_edges_of drops instances whose far
+  // endpoint was discovered into this cluster late, so those never reach
+  // the cache.
+  std::unordered_map<std::uint64_t, vid> redirect;
+  if (from_cache) {
+    redirect.reserve(cache_->boundary[ci].size());
+    for (const BoundaryInstance& b : cache_->boundary[ci]) {
+      redirect.emplace((std::uint64_t(b.u) << 32) | b.w, b.cj);
+    }
+  }
 
   const auto add_edge = [&](std::uint32_t a, std::uint32_t b, vid ou,
                             vid ow) {
@@ -93,8 +111,14 @@ BiconnectivityOracle<G>::local_view(std::size_t ci, bool use_tecc_equiv,
       }
       if (was_tree_child) continue;
       // Category 3: redirect to the outside node toward rho(w)'s cluster.
-      const decomp::RhoResult rw = decomp_.rho(w);
-      const std::size_t ce = decomp_.center_index(rw.center);
+      std::size_t ce;
+      if (const auto rit = redirect.find((std::uint64_t(u) << 32) | w);
+          rit != redirect.end()) {
+        ce = rit->second;
+      } else {
+        const decomp::RhoResult rw = decomp_.rho(w);
+        ce = decomp_.center_index(rw.center);
+      }
       const std::uint32_t dir = direction_of(ci, ce);
       const std::uint32_t node =
           dir == kNone ? lv.parent_node : lv.child_nodes[dir];

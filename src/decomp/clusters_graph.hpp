@@ -45,10 +45,19 @@ class ClustersGraph {
   /// order. O(k^2) expected operations (Lemma 4.3), no writes.
   template <typename F>
   void for_boundary_edges(graph::vertex_id ci, F&& fn) const {
-    using graph::vertex_id;
-    const vertex_id s = d_->center_list()[ci];
+    const graph::vertex_id s = d_->center_list()[ci];
     amem::count_read();
-    const ClusterInfo c = d_->cluster(s);
+    for_boundary_edges_of(d_->cluster(s), s, fn);
+  }
+
+  /// Same enumeration over an already-materialized ClusterInfo of center
+  /// `s` — the one body both the live path above and the rebuild pipeline's
+  /// boundary cache fill (biconn_oracle_impl.hpp) run, so a cached replay
+  /// is instance-for-instance identical to a live enumeration.
+  template <typename F>
+  void for_boundary_edges_of(const ClusterInfo& c, graph::vertex_id s,
+                             F&& fn) const {
+    using graph::vertex_id;
     std::unordered_set<vertex_id> members(c.members.begin(),
                                           c.members.end());
     amem::SymScratch scratch(c.members.size());

@@ -37,7 +37,15 @@ class DirtyTracker {
   /// state is copied.
   void mark_component(graph::vertex_id label) { components_.insert(label); }
 
-  /// Record a batch endpoint's cluster (center index) for diagnostics.
+  /// Mark a cluster (center index) dirty. Both facades record the clusters
+  /// their batch endpoints land in; the biconnectivity rebuild additionally
+  /// folds in every cluster of a dirty component (see mark_component) so
+  /// the set names exactly the clusters whose per-cluster state will be
+  /// re-derived — the sharding unit RebuildPlanner partitions. The
+  /// *soundness* boundary stays the component: a cluster's fixpoint DSU
+  /// entries, l' labels and per-edge bits depend on its whole component,
+  /// so cluster-granular tracking narrows work accounting and sharding,
+  /// never the copied-state boundary (docs/parallel_rebuild.md).
   void mark_cluster(graph::vertex_id center_index) {
     clusters_.insert(center_index);
   }
@@ -58,6 +66,10 @@ class DirtyTracker {
   [[nodiscard]] const std::unordered_set<graph::vertex_id>& components()
       const noexcept {
     return components_;
+  }
+  [[nodiscard]] const std::unordered_set<graph::vertex_id>& clusters()
+      const noexcept {
+    return clusters_;
   }
   [[nodiscard]] std::size_t num_components() const noexcept {
     return components_.size();

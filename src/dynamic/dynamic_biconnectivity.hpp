@@ -69,6 +69,7 @@
 #include "dynamic/biconn_snapshot.hpp"
 #include "dynamic/dirty_tracker.hpp"
 #include "dynamic/durability.hpp"
+#include "dynamic/rebuild_planner.hpp"
 #include "dynamic/update_batch.hpp"
 
 namespace wecc::dynamic {
@@ -83,6 +84,13 @@ struct DynamicBiconnOptions {
   /// Epoch number the initial build publishes as. Recovery sets this to the
   /// loaded snapshot's epoch so replayed WAL records line up; 0 otherwise.
   std::uint64_t first_epoch = 0;
+  /// Worker count for the rebuild paths (selective rebuild, compaction,
+  /// initial build). 0 = auto: the WECC_REBUILD_THREADS environment
+  /// override when set, else the global pool size — see
+  /// RebuildPlanner::resolve_threads. Any value yields identical published
+  /// state (the oracle's construction passes are deterministic under
+  /// sharding).
+  std::size_t rebuild_threads = 0;
 };
 
 /// What one apply() did — the shared base (epoch, path, counted
@@ -91,6 +99,7 @@ struct BiconnUpdateReport : UpdateReportBase {
   std::size_t absorbed_edges = 0;    // fast path: intra-block / self-loop
   std::size_t patched_bridges = 0;   // fast path: component merges
   std::size_t dirty_components = 0;  // selective rebuild only
+  std::size_t dirty_clusters = 0;    // selective rebuild only
 };
 
 class DynamicBiconnectivity {
@@ -111,7 +120,7 @@ class DynamicBiconnectivity {
     BiconnUpdateReport report;
     report.epoch = opt_.first_epoch;
     report.path = BiconnUpdateReport::Path::kInitialBuild;
-    publish_and_commit(stage_full_build(base_), report);
+    publish_and_commit(stage_full_build(base_, &report), report);
   }
 
   /// Facade vocabulary the service layer templates over: the report type
@@ -238,7 +247,7 @@ class DynamicBiconnectivity {
       if (staged.delta_size() >= opt_.compact_threshold) {
         report.path = BiconnUpdateReport::Path::kCompaction;
         phase_name = "dynamic_biconn/compaction";
-        return stage_compaction(staged);
+        return stage_compaction(staged, &report);
       }
       report.path = BiconnUpdateReport::Path::kSelectiveRebuild;
       phase_name = "dynamic_biconn/selective_rebuild";
@@ -275,7 +284,7 @@ class DynamicBiconnectivity {
     BiconnUpdateReport report;
     report.epoch = epoch() + 1;
     report.path = BiconnUpdateReport::Path::kCompaction;
-    Staged next = stage_compaction(working_);
+    Staged next = stage_compaction(working_, &report);
     if (failure_hook_) failure_hook_(report.path);
     const amem::Stats delta = measure.delta();
     amem::accumulate_phase("dynamic_biconn/compaction", delta);
@@ -423,6 +432,16 @@ class DynamicBiconnectivity {
         [&](graph::vertex_id l) { dirty.mark_component(l); });
     const auto note = [&](graph::vertex_id x) {
       dirty.mark_component(old.component_of(x));
+      // Cluster-granular breadcrumb: the cluster x lands in under the OLD
+      // decomposition. Diagnostics / sharding input only — the soundness
+      // boundary stays the component (see DirtyTracker::mark_cluster).
+      const decomp::RhoResult rx = old.decomposition().rho(x);
+      if (rx.virtual_center) {
+        dirty.note_virtual();
+      } else {
+        dirty.mark_cluster(
+            graph::vertex_id(old.decomposition().center_index(rx.center)));
+      }
     };
     for (const graph::Edge& e : batch.deletions) {
       note(e.u);
@@ -433,27 +452,41 @@ class DynamicBiconnectivity {
       note(e.v);
     }
 
+    const RebuildPlan plan = RebuildPlanner::plan(
+        dirty, old.decomposition().center_list().size(),
+        opt_.rebuild_threads);
+    biconn::BiconnOracleOptions ropt = opt_.oracle;
+    ropt.threads = plan.threads;
+
     auto frozen = std::make_shared<const OverlayGraph>(staged);
+    biconn::BiconnRebuildStats stats;
     auto oracle2 = biconn::BiconnectivityOracle<OverlayGraph>::build_reusing(
-        *frozen, opt_.oracle, old, dirty.components());
+        *frozen, ropt, old, dirty.components(), &stats);
     auto state = std::make_shared<VersionedBiconnOracle>(
         frozen, std::move(oracle2));
     report.dirty_components = dirty.num_components();
+    report.dirty_clusters = stats.dirty_clusters;
+    report.rebuild_threads = stats.threads;
+    report.rebuild_shards = stats.shards;
     return Staged{base_, std::move(staged), std::move(state), BiconnPatch{}};
   }
 
   /// Flatten the staged overlay into a fresh CSR base and rebuild from
   /// scratch over a normalized decomposition.
-  Staged stage_compaction(const OverlayGraph& staged) const {
-    return stage_full_build(std::make_shared<const graph::Graph>(
-        graph::Graph::from_edges(num_vertices(), staged.edge_list())));
+  Staged stage_compaction(const OverlayGraph& staged,
+                          UpdateReportBase* report = nullptr) const {
+    return stage_full_build(
+        std::make_shared<const graph::Graph>(graph::Graph::from_edges(
+            num_vertices(), staged.edge_list())),
+        report);
   }
 
   /// Full build with the all-primary normalization invariant: run
   /// Algorithm 1, export its centers, re-install them primary, then build
   /// the oracle over the reused decomposition — so later selective
   /// rebuilds reproduce clean components' rho() exactly.
-  Staged stage_full_build(std::shared_ptr<const graph::Graph> base) const {
+  Staged stage_full_build(std::shared_ptr<const graph::Graph> base,
+                          UpdateReportBase* report = nullptr) const {
     OverlayGraph working(base);
     auto frozen = std::make_shared<const OverlayGraph>(working);
     decomp::DecompOptions dopt;
@@ -464,8 +497,15 @@ class DynamicBiconnectivity {
     auto normalized =
         decomp::ImplicitDecomposition<OverlayGraph>::build_reusing(
             *frozen, dopt, seeded.export_centers());
+    biconn::BiconnOracleOptions bopt = opt_.oracle;
+    bopt.threads = RebuildPlanner::resolve_threads(opt_.rebuild_threads);
+    const std::size_t nc = normalized.center_list().size();
     auto oracle = biconn::BiconnectivityOracle<OverlayGraph>::
-        from_decomposition(std::move(normalized), opt_.oracle);
+        from_decomposition(std::move(normalized), bopt);
+    if (report != nullptr) {
+      report->rebuild_threads = bopt.threads;
+      report->rebuild_shards = parallel::shard_count(nc, bopt.threads);
+    }
     auto state = std::make_shared<VersionedBiconnOracle>(std::move(frozen),
                                                          std::move(oracle));
     return Staged{std::move(base), std::move(working), std::move(state),

@@ -62,6 +62,7 @@
 
 #include "dynamic/dirty_tracker.hpp"
 #include "dynamic/durability.hpp"
+#include "dynamic/rebuild_planner.hpp"
 #include "dynamic/snapshot_store.hpp"
 #include "dynamic/update_batch.hpp"
 
@@ -78,6 +79,12 @@ struct DynamicOptions {
   /// Epoch number the initial build publishes as. Recovery sets this to the
   /// loaded snapshot's epoch so replayed WAL records line up; 0 otherwise.
   std::uint64_t first_epoch = 0;
+  /// Worker count for the selective rebuild's sharded passes (the
+  /// per-cluster boundary prefill feeding the relabel BFS). 0 = auto: the
+  /// WECC_REBUILD_THREADS environment override when set, else the global
+  /// pool size — see RebuildPlanner::resolve_threads. Any value yields
+  /// identical published labels.
+  std::size_t rebuild_threads = 0;
 };
 
 class DynamicConnectivity {
@@ -397,6 +404,37 @@ class DynamicConnectivity {
       cc2.label.write(ci, old.cc().label.read(ci));
     }
     const decomp::ClustersGraph<OverlayGraph> cg(decomp2);
+
+    // Sharded prefill of the enumeration the BFS below consumes: every
+    // dirty-labeled cluster's boundary neighbors, gathered in parallel
+    // into disjoint per-cluster slots (order within a slot matches the
+    // live enumeration, so the replayed BFS visits clusters in exactly
+    // the serial order — identical labels for any thread count). The BFS
+    // itself stays serial: it only walks the prefilled lists.
+    const RebuildPlan plan =
+        RebuildPlanner::plan(dirty, nc, opt_.rebuild_threads);
+    std::vector<std::vector<graph::vertex_id>> nbr_cache(nc);
+    std::vector<std::uint8_t> nbr_cached(nc, 0);
+    parallel::sharded_for(nc, plan.threads, [&](std::size_t ci) {
+      if (!dirty.label_dirty(old.cc().label.read(ci))) return;
+      cg.for_boundary_edges(
+          graph::vertex_id(ci),
+          [&](graph::vertex_id cj, graph::vertex_id, graph::vertex_id) {
+            nbr_cache[ci].push_back(cj);
+          });
+      nbr_cached[ci] = 1;
+    });
+    // Live fallback for clusters the prefill skipped: the unrestricted
+    // BFS may step outside the dirty-label set if the dirty invariant
+    // were ever violated, and correctness must not depend on it.
+    const auto for_nbrs = [&](graph::vertex_id c, auto&& fn) {
+      if (nbr_cached[c]) {
+        for (const graph::vertex_id cj : nbr_cache[c]) fn(cj);
+        return;
+      }
+      cg.for_neighbors(c, fn);
+    };
+
     std::unordered_set<graph::vertex_id> visited;
     std::vector<graph::vertex_id> frontier, next;
     std::size_t relabeled = 0;
@@ -410,14 +448,12 @@ class DynamicConnectivity {
       while (!frontier.empty()) {
         next.clear();
         for (const graph::vertex_id c : frontier) {
-          cg.for_boundary_edges(
-              c, [&](graph::vertex_id cj, graph::vertex_id,
-                     graph::vertex_id) {
-                if (!visited.insert(cj).second) return;
-                cc2.label.write(cj, root);
-                ++relabeled;
-                next.push_back(cj);
-              });
+          for_nbrs(c, [&](graph::vertex_id cj) {
+            if (!visited.insert(cj).second) return;
+            cc2.label.write(cj, root);
+            ++relabeled;
+            next.push_back(cj);
+          });
         }
         frontier.swap(next);
       }
@@ -437,6 +473,8 @@ class DynamicConnectivity {
     report.dirty_clusters = dirty.num_clusters();
     report.dirty_labels = dirty.num_labels();
     report.relabeled_centers = relabeled;
+    report.rebuild_threads = plan.threads;
+    report.rebuild_shards = plan.shards;
     return Staged{base_, std::move(staged), std::move(state), LabelPatch{}};
   }
 

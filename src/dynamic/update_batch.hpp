@@ -39,6 +39,12 @@ struct UpdateReportBase {
   std::uint64_t writes = 0;
   /// Wall-clock duration of the operation, microseconds.
   std::uint64_t micros = 0;
+  /// How the rebuild executed: the resolved worker count and the shard
+  /// partition RebuildPlanner chose. 0 on paths that run no sharded
+  /// rebuild work (fast inserts; the connectivity facade's compaction,
+  /// whose from-scratch build has its own internal parallelism).
+  std::size_t rebuild_threads = 0;
+  std::size_t rebuild_shards = 0;
 };
 
 /// Human-readable name of an update path (shared by the example service,

@@ -1,0 +1,79 @@
+// Sharded parallel loops with an explicit worker count and exception
+// propagation — the execution substrate of the selective-rebuild pipeline.
+//
+// parallel_for splits a range into static blocks sized for the global pool;
+// rebuild phases need something slightly different: the caller chooses the
+// worker count per call (the facades' `rebuild_threads` knob, resolved per
+// update, must not reconfigure the process-wide pool), shards are claimed
+// dynamically (dirty clusters are not uniformly expensive), and a throw
+// inside a worker must surface on the calling thread — the dynamic facades
+// run these loops while staging an epoch under the strong exception
+// guarantee, so a worker exception has to unwind the staging, not terminate
+// the process (the raw pool does not catch).
+//
+// Determinism contract: sharded_for imposes no ordering — bodies run
+// concurrently in claim order. Callers keep output deterministic the same
+// way the oracle's construction passes do: each index writes only its own
+// disjoint slots, and any cross-index merging happens serially afterwards
+// in index order.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace wecc::parallel {
+
+/// Number of shards sharded_for splits `n` items into for `threads`
+/// workers: ~8 shards per worker, so dynamic claiming load-balances skewed
+/// per-item cost without the claim counter becoming contended; never more
+/// shards than items. 1 when the loop would run serially.
+[[nodiscard]] inline std::size_t shard_count(std::size_t n,
+                                             std::size_t threads) noexcept {
+  if (n == 0) return 0;
+  if (threads <= 1 || n == 1) return 1;
+  return std::min(n, threads * 8);
+}
+
+/// body(i) for i in [0, n) across `threads` workers (0 and 1 both mean
+/// serial). Workers claim blocked shards from a shared counter; a body
+/// that throws poisons only its own shard, and after the loop joins the
+/// exception of the lowest-indexed failed shard is rethrown on the caller.
+/// More workers than pool threads is allowed — the pool's task claiming
+/// simply runs several workers' shares on one thread (how a
+/// `rebuild_threads` setting above the machine degrades gracefully).
+template <typename F>
+void sharded_for(std::size_t n, std::size_t threads, F&& body) {
+  const std::size_t workers = std::max<std::size_t>(
+      1, std::min(threads, n));
+  if (workers == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  const std::size_t nshards = shard_count(n, workers);
+  const std::size_t per = (n + nshards - 1) / nshards;
+  std::vector<std::exception_ptr> errors(nshards);
+  std::atomic<std::size_t> next{0};
+  detail::run_tasks(workers, [&](std::size_t) {
+    for (;;) {
+      const std::size_t s = next.fetch_add(1, std::memory_order_relaxed);
+      if (s >= nshards) return;
+      try {
+        const std::size_t lo = s * per;
+        const std::size_t hi = std::min(n, lo + per);
+        for (std::size_t i = lo; i < hi; ++i) body(i);
+      } catch (...) {
+        errors[s] = std::current_exception();
+      }
+    }
+  });
+  for (std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace wecc::parallel

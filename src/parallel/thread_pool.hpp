@@ -21,7 +21,10 @@ void set_num_threads(std::size_t n);
 
 namespace detail {
 /// Run fn(t) for t in [0, ntasks) across the pool; blocks until all done.
-/// ntasks is capped to num_threads() by callers.
+/// Tasks are claimed dynamically, so ntasks may exceed num_threads(); the
+/// surplus tasks run on whichever threads free up first. Exceptions are NOT
+/// caught — a throwing fn on a pool thread terminates the process; callers
+/// that need propagation wrap fn (see parallel/shard.hpp).
 void run_tasks(std::size_t ntasks, const std::function<void(std::size_t)>& fn);
 }  // namespace detail
 

@@ -33,6 +33,7 @@
 #include "dynamic/dynamic_biconnectivity.hpp"
 #include "dynamic/dynamic_connectivity.hpp"
 #include "dynamic/overlay_graph.hpp"
+#include "dynamic/rebuild_planner.hpp"
 #include "dynamic/snapshot_store.hpp"
 #include "dynamic/update_batch.hpp"
 #include "graph/generators.hpp"
@@ -44,6 +45,7 @@
 #include "parallel/parallel_for.hpp"
 #include "parallel/rng.hpp"
 #include "parallel/scan.hpp"
+#include "parallel/shard.hpp"
 #include "parallel/thread_pool.hpp"
 #include "persist/crc32.hpp"
 #include "persist/derived.hpp"

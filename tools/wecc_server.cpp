@@ -36,6 +36,7 @@ struct CliOptions {
   std::uint64_t gseed = 1; // generator seed (loadgen mirrors with the same)
   std::size_t k = 8;       // oracle parameter
   std::size_t snapshots = 8;
+  std::size_t rebuild_threads = 0;  // 0 = auto (env, then pool size)
   std::string bind = "127.0.0.1";
   std::uint16_t port = 0;  // 0 = ephemeral
   std::string port_file;   // written once bound (how check.sh finds us)
@@ -51,7 +52,8 @@ void on_signal(int) { g_stop = 1; }
       stderr,
       "usage: %s [--facade conn|biconn] [--rows R] [--cols C] [--p P]\n"
       "          [--gseed S] [--k K] [--snapshots N] [--bind ADDR]\n"
-      "          [--port PORT] [--port-file PATH] [--wal-dir DIR]\n",
+      "          [--port PORT] [--port-file PATH] [--wal-dir DIR]\n"
+      "          [--rebuild-threads N]\n",
       argv0);
   std::exit(2);
 }
@@ -79,6 +81,8 @@ CliOptions parse_args(int argc, char** argv) try {
       opt.k = std::stoul(value());
     } else if (arg == "--snapshots") {
       opt.snapshots = std::stoul(value());
+    } else if (arg == "--rebuild-threads") {
+      opt.rebuild_threads = std::stoul(value());
     } else if (arg == "--bind") {
       opt.bind = value();
     } else if (arg == "--port") {
@@ -156,11 +160,13 @@ int main(int argc, char** argv) {
       dynamic::DynamicOptions opt;
       opt.oracle.k = cli.k;
       opt.snapshot_capacity = cli.snapshots;
+      opt.rebuild_threads = cli.rebuild_threads;
       return serve<dynamic::DynamicConnectivity>(std::move(g), opt, cli);
     }
     dynamic::DynamicBiconnOptions opt;
     opt.oracle.k = cli.k;
     opt.snapshot_capacity = cli.snapshots;
+    opt.rebuild_threads = cli.rebuild_threads;
     return serve<dynamic::DynamicBiconnectivity>(std::move(g), opt, cli);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "wecc_server: fatal: %s\n", e.what());
