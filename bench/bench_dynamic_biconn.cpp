@@ -198,6 +198,7 @@ void BM_DynamicBiconnInsertBatch(benchmark::State& state) {
   }
   const double rebuild_s = rebuild_and_verify(state, dbc);
   const auto spent = amem::phase_total("dynamic_biconn/insert_fastpath") +
+                     amem::phase_total("dynamic_biconn/fast_mixed") +
                      amem::phase_total("dynamic_biconn/selective_rebuild") +
                      amem::phase_total("dynamic_biconn/compaction");
   finish_row(state, rebuild_s, total_s, batches, spent, n, batch_size);
@@ -217,8 +218,10 @@ BENCHMARK(BM_DynamicBiconnInsertBatch)
 template <Shape shape>
 void BM_DynamicBiconnMixedBatch(benchmark::State& state) {
   // Half deletions (of previously inserted edges), half random
-  // insertions: after warm-up essentially every apply pays a selective
-  // rebuild of its dirty components.
+  // insertions. Before the block-merge patch algebra essentially every
+  // apply paid a selective rebuild of its dirty components; now the
+  // cycle-closing merges and the deletion triage absorb most batches, and
+  // absorb_rate records the fraction that stayed on the O(B)-write path.
   const auto n_arg = std::size_t(state.range(0));
   const auto batch_size = std::size_t(state.range(1));
   auto& dbc = dyn(shape, n_arg);
@@ -227,6 +230,7 @@ void BM_DynamicBiconnMixedBatch(benchmark::State& state) {
   graph::EdgeList pool;
   amem::reset_phases();
   std::size_t batches = 0;
+  std::size_t absorbed = 0;
   double total_s = 0;
   for (auto _ : state) {
     state.PauseTiming();
@@ -238,9 +242,10 @@ void BM_DynamicBiconnMixedBatch(benchmark::State& state) {
     }
     state.ResumeTiming();
     const auto t0 = std::chrono::steady_clock::now();
-    dbc.apply(batch);
+    const auto report = dbc.apply(batch);
     total_s += seconds_since(t0);
     ++batches;
+    absorbed += report.rebuild_reason == dynamic::RebuildReason::kNone;
     state.PauseTiming();
     for (const auto& e : batch.insertions) pool.push_back(e);
     state.ResumeTiming();
@@ -248,8 +253,12 @@ void BM_DynamicBiconnMixedBatch(benchmark::State& state) {
   const double rebuild_s = rebuild_and_verify(state, dbc);
   const auto spent = amem::phase_total("dynamic_biconn/selective_rebuild") +
                      amem::phase_total("dynamic_biconn/insert_fastpath") +
+                     amem::phase_total("dynamic_biconn/fast_mixed") +
                      amem::phase_total("dynamic_biconn/compaction");
   finish_row(state, rebuild_s, total_s, batches, spent, n, batch_size);
+  if (batches > 0) {
+    state.counters["absorb_rate"] = double(absorbed) / double(batches);
+  }
 }
 BENCHMARK_TEMPLATE(BM_DynamicBiconnMixedBatch, Shape::kPercolation)
     ->Name("BM_DynamicBiconnMixedBatch_Percolation")
@@ -257,6 +266,64 @@ BENCHMARK_TEMPLATE(BM_DynamicBiconnMixedBatch, Shape::kPercolation)
     ->Args({100000, 64})
     ->Args({100000, 1024})
     ->Iterations(8);
+
+void BM_DynamicBiconnDenseChurn(benchmark::State& state) {
+  // Dense churn over the percolation grid: three quarters fresh random
+  // insertions plus one quarter LIFO deletions of this workload's own
+  // recent insertions — high-turnover edges that exist only in the patch.
+  // The deletion triage cancels those copies against the event journal and
+  // the cycle merges absorb the rest, so the whole row should stay on the
+  // O(B)-write path (absorb_rate ~1) where it previously paid a selective
+  // rebuild per batch.
+  const auto n_arg = std::size_t(state.range(0));
+  const auto batch_size = std::size_t(state.range(1));
+  auto& dbc = dyn(Shape::kPercolation, n_arg);
+  const std::size_t n = dbc.num_vertices();
+  std::uint64_t rs = 4242;
+  graph::EdgeList stack;
+  amem::reset_phases();
+  std::size_t batches = 0;
+  std::size_t absorbed = 0;
+  double total_s = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    dynamic::UpdateBatch batch;
+    batch.insertions = random_edges(n, batch_size - batch_size / 4, rs);
+    const std::size_t dels = std::min(batch_size / 4, stack.size());
+    for (std::size_t i = 0; i < dels; ++i) {
+      batch.deletions.push_back(stack.back());
+      stack.pop_back();
+    }
+    state.ResumeTiming();
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto report = dbc.apply(batch);
+    total_s += seconds_since(t0);
+    ++batches;
+    absorbed += report.rebuild_reason == dynamic::RebuildReason::kNone;
+    state.PauseTiming();
+    for (const auto& e : batch.insertions) stack.push_back(e);
+    state.ResumeTiming();
+  }
+  const double rebuild_s = rebuild_and_verify(state, dbc);
+  const auto spent = amem::phase_total("dynamic_biconn/selective_rebuild") +
+                     amem::phase_total("dynamic_biconn/insert_fastpath") +
+                     amem::phase_total("dynamic_biconn/fast_mixed") +
+                     amem::phase_total("dynamic_biconn/compaction");
+  finish_row(state, rebuild_s, total_s, batches, spent, n, batch_size);
+  if (batches > 0) {
+    state.counters["absorb_rate"] = double(absorbed) / double(batches);
+  }
+}
+BENCHMARK(BM_DynamicBiconnDenseChurn)
+    ->Name("BM_DynamicBiconnDenseChurn_Percolation")
+    ->Unit(benchmark::kMillisecond)
+    ->Args({100000, 64})
+    ->Iterations(64);
+BENCHMARK(BM_DynamicBiconnDenseChurn)
+    ->Name("BM_DynamicBiconnDenseChurn_Percolation")
+    ->Unit(benchmark::kMillisecond)
+    ->Args({100000, 1024})
+    ->Iterations(16);
 
 void BM_FullBiconnOracleRebuild(benchmark::State& state) {
   // The baseline the dynamic paths beat: from-scratch static §5.3 build.
@@ -293,7 +360,7 @@ void BM_BiconnSnapshotMixedQueries(benchmark::State& state) {
   std::vector<dynamic::MixedQuery> mixed(queries);
   for (std::size_t i = 0; i < queries; ++i) {
     auto& q = mixed[i];
-    q.kind = dynamic::MixedQuery::Kind(i % 5);
+    q.kind = dynamic::MixedQuery::Kind(i % 6);
     rs = parallel::mix64(rs + 1);
     q.u = vertex_id(rs % n);
     rs = parallel::mix64(rs);

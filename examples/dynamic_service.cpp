@@ -171,7 +171,7 @@ int main() {
 
   std::vector<dynamic::MixedQuery> mixed;
   for (std::size_t i = 0; i < queries.size(); ++i) {
-    mixed.push_back({dynamic::MixedQuery::Kind(i % 5), queries[i].u,
+    mixed.push_back({dynamic::MixedQuery::Kind(i % 6), queries[i].u,
                      queries[i].v});
   }
   const std::uint64_t biconn_epoch = biconn_svc.info().epoch;

@@ -40,6 +40,9 @@ GATED_FIELDS = {
     "rebuild_ms": True,
     "speedup_vs_rebuild": False,
     "speedup_vs_1thread": False,
+    # Fraction of batches the block-merge patch algebra absorbed without a
+    # rebuild; a drop means churn fell back off the O(B)-write fast path.
+    "absorb_rate": False,
 }
 
 
@@ -123,6 +126,7 @@ def self_test():
         "rebuild_ms": 10.0,
         "speedup_vs_rebuild": None,
         "speedup_vs_1thread": 2.0,
+        "absorb_rate": 0.95,
     }
     cases = 0
 
@@ -166,6 +170,14 @@ def self_test():
     # Small drift under the threshold passes.
     wobble = dict(base_row, ns_per_op=1.2e6)
     expect("20% wobble under 25% threshold", [wobble], [base_row],
+           want_fail=False)
+    # A collapsed absorb rate (batches falling off the block-merge fast
+    # path) fails; a small dip stays under the threshold.
+    unabsorbed = dict(base_row, absorb_rate=0.5)
+    expect("absorb_rate collapsed", [unabsorbed], [base_row],
+           want_fail=True)
+    dipped = dict(base_row, absorb_rate=0.9)
+    expect("absorb_rate small dip passes", [dipped], [base_row],
            want_fail=False)
 
     print(f"bench_compare.py --self-test: {cases} cases passed")

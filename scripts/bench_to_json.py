@@ -31,6 +31,10 @@ def distill(raw):
                 "ns_per_op": b["real_time"] * unit,
                 "speedup_vs_rebuild": b.get("speedup_vs_rebuild"),
                 "writes_per_batch": b.get("writes_per_batch"),
+                # Block-merge rows (bench_dynamic_biconn dense churn): the
+                # fraction of batches the patch algebra absorbed without a
+                # rebuild (1.0 = all of them).
+                "absorb_rate": b.get("absorb_rate"),
                 # Durability rows (bench_persist): real I/O next to the
                 # modeled counters.
                 "bytes_to_storage": b.get("bytes_to_storage"),

@@ -107,7 +107,7 @@ SERVICE_PID=$!
 trap 'kill "$SERVICE_PID" 2> /dev/null || true' EXIT
 "$BUILD_DIR/wecc_loadgen" --port-file "$SERVICE_PORT_FILE" \
   --facade biconn --rows 30 --cols 30 --p 0.5 \
-  --readers 3 --duration-s 2 --verify-every 4 \
+  --readers 3 --duration-s 2 --verify-every 4 --churn dense \
   --json "$BUILD_DIR/bench_service_raw.json"
 kill -TERM "$SERVICE_PID"
 wait "$SERVICE_PID"

@@ -148,6 +148,14 @@ class BiconnectivityOracle {
   [[nodiscard]] bool two_edge_connected(graph::vertex_id u,
                                         graph::vertex_id v) const;
 
+  /// Canonical name of v's 2-edge-connected class: two vertices are
+  /// two_edge_connected iff their keys are equal (property-tested against
+  /// the pairwise query). O(1) local views + O(log depth) ancestor hops,
+  /// so callers can bucket vertices by 2ec class instead of paying a
+  /// pairwise query per candidate — the dynamic layer's 2ec anchor maps
+  /// ride on this. Keys are only comparable within one oracle version.
+  [[nodiscard]] std::uint64_t two_edge_class(graph::vertex_id v) const;
+
   /// BCC id of edge {u, v} (first matching instance; std::nullopt for
   /// self-loops). The classic per-edge output of [21, 32], on demand.
   [[nodiscard]] std::optional<BccId> edge_bcc(graph::vertex_id u,

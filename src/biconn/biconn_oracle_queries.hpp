@@ -184,6 +184,80 @@ bool BiconnectivityOracle<G>::two_edge_connected(graph::vertex_id u,
   return lvL.bc.tecc_label[node_of(d1)] == lvL.bc.tecc_label[node_of(d2)];
 }
 
+// The canonical 2ec class name mirrors the pairwise query's chain: a
+// vertex that is not 2ec with its cluster's upward exit is named by its
+// local tecc label; one that is climbs the clusters forest to the topmost
+// ancestor the bridge-free chain reaches and is named by its entry label
+// there. Equality matches two_edge_connected because bridge_up_ok[d] is
+// itself a label comparison in d's parent ("entry label == parent's exit
+// label"), so two chains meeting any cluster with equal labels make the
+// same climb decision from there on — the climb endpoint and entry label
+// are functions of the class, not of the starting vertex.
+template <graph::GraphView G>
+std::uint64_t BiconnectivityOracle<G>::two_edge_class(
+    graph::vertex_id u) const {
+  // (virtual? : 1) | (cluster index : 32) | (label : 31). Cluster local
+  // views are deterministic functions of the cluster, so their label
+  // values are comparable across calls; virtual views are materialized
+  // from the queried vertex, so virtual classes are instead named by
+  // their minimum member (globally unique — no cluster part needed).
+  const auto pack = [](bool virt, std::uint64_t idx, std::uint64_t label) {
+    assert(label < (std::uint64_t{1} << 31));
+    return (std::uint64_t{virt} << 63) | (idx << 31) | label;
+  };
+  const auto ru = decomp_.rho(u);
+  if (ru.virtual_center) {
+    const VirtualView vv = virtual_view(u);
+    const std::uint32_t lab = vv.bc.tecc_label[vv.member_idx.at(u)];
+    graph::vertex_id rep = u;
+    for (std::uint32_t i = 0; i < vv.members.size(); ++i) {
+      if (vv.bc.tecc_label[i] == lab && vv.members[i] < rep) {
+        rep = vv.members[i];
+      }
+    }
+    return (std::uint64_t{1} << 63) | rep;
+  }
+  const std::size_t cu = decomp_.center_index(ru.center);
+  const LocalView lv = local_view(cu, true, false);
+  const std::uint32_t lab = lv.bc.tecc_label[lv.member_idx.at(u)];
+  amem::count_read();
+  if (cparent_[cu] == vid(cu) ||
+      lab != lv.bc.tecc_label[lv.parent_node]) {
+    return pack(false, cu, lab);
+  }
+  // u is 2ec with its cluster's upward exit. The chain stalls exactly at
+  // the deepest root-path ancestor B with !bridge_up_ok (where pref_bbad_
+  // last increments — prefix counts are nondecreasing with depth), so the
+  // class lives in T = parent(B), named by B's entry label there.
+  amem::count_read(2);
+  const std::uint32_t target = pref_bbad_[cu];
+  const vid root = ccomp_[cu];
+  vid bstop;
+  if (target == 0) {
+    bstop = clca_.ancestor_at_depth(vid(cu), ctree().depth[root] + 1);
+  } else {
+    // Binary search the shallowest ancestor whose prefix reaches `target`.
+    std::uint32_t lo = ctree().depth[root] + 1;
+    std::uint32_t hi = ctree().depth[cu];
+    while (lo < hi) {
+      const std::uint32_t mid = lo + (hi - lo) / 2;
+      const vid a = clca_.ancestor_at_depth(vid(cu), mid);
+      amem::count_read();
+      if (pref_bbad_[a] >= target) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    bstop = clca_.ancestor_at_depth(vid(cu), lo);
+  }
+  const vid top = cparent_[bstop];
+  const LocalView lvt = local_view(std::size_t(top), true, false);
+  return pack(
+      false, std::uint64_t(top),
+      lvt.bc.tecc_label[lvt.child_nodes[child_slot(top, bstop)]]);
+}
+
 template <graph::GraphView G>
 std::optional<BccId> BiconnectivityOracle<G>::edge_bcc(
     graph::vertex_id u, graph::vertex_id v) const {
@@ -198,9 +272,28 @@ std::optional<BccId> BiconnectivityOracle<G>::edge_bcc(
     const std::uint32_t ui = vv.member_idx.at(u), vi = vv.member_idx.at(v);
     for (const auto& [w, e] : vv.lg.adj[ui]) {
       if (w == vi) {
+        // Local block numbers depend on which member virtual_view() grew
+        // from, so the id uses each block's rank by its lexicographically
+        // smallest global edge — blocks partition edges, so that minimum
+        // is unique per block and identical from every entry vertex.
+        const std::uint32_t b = vv.bc.edge_bcc[e];
+        std::vector<std::uint64_t> best(vv.bc.num_bcc, ~std::uint64_t{0});
+        for (std::uint32_t f = 0; f < vv.lg.num_edges(); ++f) {
+          const auto blk = vv.bc.edge_bcc[f];
+          if (blk == primitives::BiconnResult::kNone) continue;
+          const auto [x, y] = vv.lg.edges[f];
+          const graph::vertex_id gx = vv.members[x];
+          const graph::vertex_id gy = vv.members[y];
+          const std::uint64_t key =
+              (std::uint64_t(std::min(gx, gy)) << 32) | std::max(gx, gy);
+          if (key < best[blk]) best[blk] = key;
+        }
+        std::uint32_t rank = 0;
+        for (std::uint32_t blk = 0; blk < vv.bc.num_bcc; ++blk) {
+          if (best[blk] < best[b]) ++rank;
+        }
         return BccId{BccId::Kind::kVirtual,
-                     (std::uint64_t(vv.comp_min) << 20) |
-                         vv.bc.edge_bcc[e]};
+                     (std::uint64_t(vv.comp_min) << 20) | rank};
       }
     }
     return std::nullopt;

@@ -54,6 +54,11 @@ struct MixedQuery {
     kTwoEdgeConnected,
     kArticulation,
     kBridge,
+    /// Block (BCC) membership of edge (u, v): boolean answer "edge (u, v)
+    /// exists and belongs to a block"; the engine's block_ids() companion
+    /// returns the id itself (patch-aware — patch-inserted edges answer
+    /// through their merged block class; 0 = absent edge / self-loop).
+    kEdgeBcc,
   };
   Kind kind = Kind::kConnected;
   graph::vertex_id u = 0;
@@ -123,6 +128,23 @@ class BiconnBatchQueryEngine {
         [&](std::size_t i) { return snap_->component_of(vertices[i]); });
   }
 
+  /// Block ids for the kEdgeBcc queries of a mixed vector, in query order
+  /// (non-kEdgeBcc entries are skipped). The service layer pairs this with
+  /// answer() so one request returns booleans for every kind plus ids for
+  /// the edge-block probes.
+  [[nodiscard]] std::vector<std::uint64_t> block_ids(
+      std::span<const MixedQuery> queries, std::size_t grain = 16) const {
+    std::vector<std::size_t> idx;
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      if (queries[i].kind == MixedQuery::Kind::kEdgeBcc) idx.push_back(i);
+    }
+    return detail::parallel_map<std::uint64_t>(
+        idx.size(), grain, [&](std::size_t i) {
+          const MixedQuery& q = queries[idx[i]];
+          return snap_->edge_block_id(q.u, q.v);
+        });
+  }
+
  private:
   [[nodiscard]] bool answer_one(const MixedQuery& q) const {
     switch (q.kind) {
@@ -136,6 +158,8 @@ class BiconnBatchQueryEngine {
         return snap_->is_articulation(q.u);
       case MixedQuery::Kind::kBridge:
         return snap_->is_bridge(q.u, q.v);
+      case MixedQuery::Kind::kEdgeBcc:
+        return snap_->edge_block_id(q.u, q.v) != 0;
     }
     return false;
   }

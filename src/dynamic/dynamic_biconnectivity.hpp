@@ -6,28 +6,43 @@
 //
 // Update paths, cheapest first (phase counters under "dynamic_biconn/..."):
 //
-//  * Insert fast path — a batch of B insertions is *absorbed* in O(B)
-//    counted writes when every edge, processed in order against the
-//    staged patch, is either
+//  * Insert fast path — a batch of B insertions is *absorbed* when every
+//    edge, processed in order against the staged patch, is either
 //      (a) intra-block: its endpoints are biconnected AND 2-edge-connected
 //          in the frozen oracle — adding an edge inside a 2-connected,
-//          2-edge-connected block changes no biconnectivity answer (no
-//          block boundary moves, no bridge appears or disappears, no
-//          articulation point changes), so only a touched-component
-//          breadcrumb is recorded; or
+//          2-edge-connected block changes no biconnectivity answer, so the
+//          patch records the edge under its (unique) common frozen block
+//          plus a touched-component breadcrumb;
 //      (b) a component merge: its endpoints lie in different (patched)
 //          components — the new edge is then the *only* edge between the
 //          two merged components, i.e. a bridge whose endpoints become
 //          articulation points exactly when they had any other neighbor.
-//          The patch records the connectivity merge, the bridge, and the
-//          promotions.
-//    Any edge that fits neither case (a cycle through a patched bridge, a
-//    doubled bridge, an intra-component edge spanning blocks) would change
-//    structure the patch cannot express, so the whole batch falls through
-//    to the selective rebuild. Self-loops are biconnectivity-inert and
-//    absorbed unconditionally.
-//  * Selective rebuild — any batch with deletions or a non-absorbable
-//    insertion. Only the connected components an edge changed in since the
+//          The patch records the connectivity merge, the bridge (a fresh
+//          patch-born K2 block), and the promotions; or
+//      (c) a cycle-closing block merge: its endpoints are already connected
+//          in the patched view but sit in different blocks. Inserting
+//          (u, v) merges exactly the blocks along any simple u–v path into
+//          one, so a bounded BFS over the patched graph finds such a path
+//          and the patch unites the block classes along it (union-find over
+//          block ids), demotes every bridge the merge swallowed, and
+//          registers 2ec anchors so 2-edge-connectivity answers follow the
+//          merge. Cost: O(path length) counted writes — O(#blocks merged).
+//    Self-loops are biconnectivity-inert and absorbed unconditionally. A
+//    path longer than `merge_search_limit` forces the rebuild
+//    (rebuild_reason = cross-block).
+//  * Fast mixed path — a batch with deletions is still absorbable when
+//    deletion triage succeeds: deletions of patch-inserted copies cancel
+//    against the insert-event journal, and each deletion of a frozen edge
+//    must pass a 2-connectivity certificate (two internally vertex-disjoint
+//    replacement paths in frozen-minus-masks — parallel copies count — so
+//    the block provably stays 2-connected and no answer changes; the edge
+//    becomes a mask). The surviving journal then *replays* into a fresh
+//    patch through the same per-edge planner, which also re-splits
+//    components correctly when a patched bridge was deleted. Batches whose
+//    journal exceeds `replay_event_limit` skip triage (rebuild_reason =
+//    deletion-overflow).
+//  * Selective rebuild — any batch the above refuse. Only the connected
+//    components an edge changed in since the
 //    last rebuild (batch endpoints + every patch-touched component,
 //    tracked via DirtyTracker) are relabeled: BiconnectivityOracle::
 //    build_reusing re-installs the center set (O(n/k) writes, no
@@ -53,6 +68,7 @@
 // while newer epochs publish.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -67,6 +83,7 @@
 #include <vector>
 
 #include "dynamic/biconn_snapshot.hpp"
+#include "dynamic/block_merge.hpp"
 #include "dynamic/dirty_tracker.hpp"
 #include "dynamic/durability.hpp"
 #include "dynamic/rebuild_planner.hpp"
@@ -91,15 +108,40 @@ struct DynamicBiconnOptions {
   /// state (the oracle's construction passes are deterministic under
   /// sharding).
   std::size_t rebuild_threads = 0;
+  /// Vertex-visit budget for the fast path's bounded searches (the
+  /// cycle-closing merge path BFS and the deletion certificate's
+  /// disjoint-path checks). A search that exhausts the budget fails the
+  /// absorbability check and the batch rebuilds instead; 0 disables the
+  /// block-merge and triage extensions entirely (PR-3 fast path only).
+  /// The default must cover a search across the largest patched component
+  /// churn can glue together, not just one frozen cluster: sustained
+  /// random inserts merge percolation clusters into a giant component
+  /// (tens of thousands of vertices), and one refused merge costs a
+  /// rebuild that freezes every patch edge — after which LIFO deletions
+  /// of those edges fail triage forever. Erring high is strictly cheaper:
+  /// the search is bidirectional scratch (visits cost time, not counted
+  /// writes) and caps at the component size anyway.
+  std::size_t merge_search_limit = 65536;
+  /// Largest insert-event journal the deletion triage will replay. Bounds
+  /// the mixed fast path's worst case at O(journal × path) operations;
+  /// larger journals send deletion batches straight to the rebuild.
+  std::size_t replay_event_limit = 16384;
 };
 
 /// What one apply() did — the shared base (epoch, path, counted
 /// reads/writes, wall clock) plus the biconnectivity-specific counters.
 struct BiconnUpdateReport : UpdateReportBase {
-  std::size_t absorbed_edges = 0;    // fast path: intra-block / self-loop
-  std::size_t patched_bridges = 0;   // fast path: component merges
-  std::size_t dirty_components = 0;  // selective rebuild only
-  std::size_t dirty_clusters = 0;    // selective rebuild only
+  std::size_t absorbed_edges = 0;     // fast path: intra-block / merges
+  std::size_t patched_bridges = 0;    // fast path: component merges
+  std::size_t merged_blocks = 0;      // fast path: block-class unions
+  std::size_t absorbed_deletions = 0; // fast mixed: cancelled + masked
+  std::size_t dirty_components = 0;   // selective rebuild only
+  std::size_t dirty_clusters = 0;     // selective rebuild only
+  /// Why this batch fell off the fast path (kNone when it did not).
+  RebuildReason rebuild_reason = RebuildReason::kNone;
+  /// Cumulative fraction of apply() batches absorbed by a fast path since
+  /// construction (initial build excluded; 1.0 before the first batch).
+  double absorb_rate = 1.0;
 };
 
 class DynamicBiconnectivity {
@@ -218,18 +260,40 @@ class DynamicBiconnectivity {
     BiconnUpdateReport report;
     report.epoch = epoch() + 1;
 
-    if (batch.deletions.empty() &&
-        working_.delta_after_inserting(batch.insertions) <
-            opt_.compact_threshold) {
-      BiconnPatch staged = patch_;
-      if (plan_fast_insert(batch.insertions, staged, report)) {
-        report.path = BiconnUpdateReport::Path::kFastInsert;
-        apply_fast_insert(batch, std::move(staged), report, measure);
-        stamp_report(report, measure.delta(), start);
-        return report;
+    if (working_.delta_after_inserting(batch.insertions) <
+        opt_.compact_threshold) {
+      if (batch.deletions.empty()) {
+        BiconnPatch staged = patch_;
+        MergePaths staged_paths = event_paths_;
+        if (plan_fast_insert(batch.insertions, staged, staged_paths,
+                             report)) {
+          report.path = BiconnUpdateReport::Path::kFastInsert;
+          apply_fast_insert(batch, std::move(staged),
+                            std::move(staged_paths), report, measure);
+          finish_absorbed(report, measure, start);
+          return report;
+        }
+      } else if (patch_.events().size() + batch.size() <=
+                 opt_.replay_event_limit) {
+        BiconnPatch staged;
+        MergePaths staged_paths;
+        if (plan_fast_mixed(batch, staged, staged_paths, report)) {
+          report.path = BiconnUpdateReport::Path::kFastMixed;
+          apply_fast_mixed(batch, std::move(staged),
+                           std::move(staged_paths), report, measure);
+          finish_absorbed(report, measure, start);
+          return report;
+        }
+      } else {
+        report.rebuild_reason = RebuildReason::kDeletionOverflow;
       }
-      report = BiconnUpdateReport{};  // discard fast-path planning counts
+      // Discard fast-path planning counts; keep why the plan failed.
+      const RebuildReason reason = report.rebuild_reason;
+      report = BiconnUpdateReport{};
       report.epoch = epoch() + 1;
+      report.rebuild_reason = reason;
+    } else {
+      report.rebuild_reason = RebuildReason::kCompactionDue;
     }
 
     // Rebuild paths: stage the batch into a scratch overlay; working_
@@ -257,6 +321,9 @@ class DynamicBiconnectivity {
     const amem::Stats delta = measure.delta();
     amem::accumulate_phase(phase_name, delta);
     log_and_publish(batch, std::move(next), report);
+    ++applied_batches_;
+    report.absorb_rate =
+        double(absorbed_batches_) / double(applied_batches_);
     stamp_report(report, delta, start);
     return report;
   }
@@ -284,6 +351,7 @@ class DynamicBiconnectivity {
     BiconnUpdateReport report;
     report.epoch = epoch() + 1;
     report.path = BiconnUpdateReport::Path::kCompaction;
+    report.rebuild_reason = RebuildReason::kForced;
     Staged next = stage_compaction(working_, &report);
     if (failure_hook_) failure_hook_(report.path);
     const amem::Stats delta = measure.delta();
@@ -291,6 +359,11 @@ class DynamicBiconnectivity {
     // Compaction advances the epoch without changing the edge set; log an
     // empty batch so the durable epoch sequence stays contiguous.
     log_and_publish(UpdateBatch{}, std::move(next), report);
+    // Not a batch: the absorb-rate denominator is untouched.
+    report.absorb_rate = applied_batches_ == 0
+                             ? 1.0
+                             : double(absorbed_batches_) /
+                                   double(applied_batches_);
     stamp_report(report, delta, start);
     return report;
   }
@@ -305,82 +378,403 @@ class DynamicBiconnectivity {
   }
 
  private:
+  /// One entry per insert-event journal entry: the cycle path the event's
+  /// block merge united along (empty for self-loops, bridges, and
+  /// intra-block edges). Writer-side planning scratch only — snapshots
+  /// never carry it. Deletion triage replays the journal through the
+  /// planner every mixed batch; re-validating a remembered path costs
+  /// O(path) edge-presence probes where re-searching costs a BFS, which is
+  /// what keeps replay linear in the journal instead of quadratic.
+  using MergePaths = std::vector<std::vector<graph::vertex_id>>;
+
   /// A fully built next epoch, not yet visible to anyone.
   struct Staged {
     std::shared_ptr<const graph::Graph> base;
     OverlayGraph working;
     std::shared_ptr<const VersionedBiconnOracle> state;
     BiconnPatch patch;
+    MergePaths paths;
   };
 
   /// Decide whether the insertion batch is absorbable and stage the patch
   /// mutations into `staged` (a copy of patch_). Returns false — leaving
-  /// members untouched — when any edge needs a structural rebuild. Reads
-  /// only; O(B k^2) expected operations, O(B) counted writes into the
-  /// staged patch.
+  /// members untouched and report.rebuild_reason set — when any edge needs
+  /// a structural rebuild. Reads only against members; O(B k^2) expected
+  /// operations plus bounded merge-path searches, O(B + merged blocks)
+  /// counted writes into the staged patch.
   bool plan_fast_insert(const graph::EdgeList& insertions,
-                        BiconnPatch& staged, BiconnUpdateReport& report) {
-    const auto& oracle = state_->oracle;
-    const auto is_center = [&](graph::vertex_id l) {
-      return oracle.decomposition().is_center(l);
-    };
-    // Endpoint adjacency for the articulation rule: any neighbor in the
-    // pre-batch working graph (which already holds earlier absorbed
-    // epochs) or an earlier edge of this batch.
-    std::unordered_map<graph::vertex_id, bool> deg_cache;
-    std::unordered_set<graph::vertex_id> batch_adj;
-    const auto endpoint_has_neighbor = [&](graph::vertex_id x) {
-      if (batch_adj.count(x)) return true;
-      const auto [it, fresh] = deg_cache.try_emplace(x, false);
-      if (fresh) it->second = working_.has_non_self_neighbor(x);
-      return it->second;
-    };
-
+                        BiconnPatch& staged, MergePaths& staged_paths,
+                        BiconnUpdateReport& report) {
     for (const graph::Edge& e : insertions) {
-      if (e.u == e.v) {
-        // Self-loops are biconnectivity-inert, but still leave the
-        // breadcrumb: build_reusing's contract is that a clean component's
-        // subgraph is bit-identical to the old frozen one, and nothing
-        // should silently ride on every consumer skipping self-loops.
-        staged.touch_component(oracle.component_of(e.u));
-        ++report.absorbed_edges;
-        continue;
-      }
-      const graph::vertex_id bu = oracle.component_of(e.u);
-      const graph::vertex_id bv = oracle.component_of(e.v);
-      if (staged.conn.find(bu) != staged.conn.find(bv)) {
-        // Component merge: the one edge between two merged components.
-        if (endpoint_has_neighbor(e.u)) staged.add_articulation(e.u);
-        if (endpoint_has_neighbor(e.v)) staged.add_articulation(e.v);
-        staged.conn.unite(bu, bv, is_center);
-        staged.add_bridge(e.u, e.v);
-        staged.touch_component(bu);
-        staged.touch_component(bv);
-        batch_adj.insert(e.u);
-        batch_adj.insert(e.v);
-        ++report.patched_bridges;
-        continue;
-      }
-      // Already connected in the patched view: absorbable only when the
-      // edge provably lands inside one 2-connected, 2-edge-connected block
-      // of the *frozen* component (patched connections always cross a
-      // patched bridge, which the new edge would cycle through).
-      if (bu != bv || !oracle.biconnected(e.u, e.v) ||
-          !oracle.two_edge_connected(e.u, e.v)) {
+      if (!plan_insert_edge(e, staged, staged_paths, report,
+                            /*count=*/true)) {
         return false;
       }
-      staged.touch_component(bu);
-      batch_adj.insert(e.u);
-      batch_adj.insert(e.v);
-      ++report.absorbed_edges;
     }
     return true;
+  }
+
+  /// Plan one insertion against the staged patch — cases (a)/(b)/(c) of the
+  /// header comment. `count` is false when replaying journaled events
+  /// during deletion triage (the epoch that absorbed them already counted
+  /// them); `hint` is the path that event's merge followed last time, if
+  /// any. Every absorbed edge appends exactly one journal event and one
+  /// staged_paths entry, keeping the two aligned by index. On failure sets
+  /// report.rebuild_reason and returns false; the caller discards `staged`.
+  bool plan_insert_edge(const graph::Edge& e, BiconnPatch& staged,
+                        MergePaths& staged_paths, BiconnUpdateReport& report,
+                        bool count,
+                        const std::vector<graph::vertex_id>* hint = nullptr) {
+    const auto& oracle = state_->oracle;
+    if (e.u == e.v) {
+      // Self-loops are biconnectivity-inert, but still recorded (class 0 —
+      // no block) so deletion triage can cancel them against the journal,
+      // and still leave the breadcrumb: build_reusing's contract is that a
+      // clean component's subgraph is bit-identical to the old frozen one.
+      staged.add_patch_edge(e.u, e.v, 0);
+      staged.append_event(e);
+      staged_paths.emplace_back();
+      staged.touch_component(oracle.component_of(e.u));
+      if (count) ++report.absorbed_edges;
+      return true;
+    }
+    const graph::vertex_id bu = oracle.component_of(e.u);
+    const graph::vertex_id bv = oracle.component_of(e.v);
+    if (staged.conn.find(bu) != staged.conn.find(bv)) {
+      // (b) component merge: the one edge between two merged components —
+      // a bridge forming a fresh patch-born K2 block.
+      const BiconnPatchView view(*state_, staged);
+      if (view.has_neighbor(e.u)) staged.add_articulation(e.u);
+      if (view.has_neighbor(e.v)) staged.add_articulation(e.v);
+      staged.conn.unite(bu, bv, [&](graph::vertex_id l) {
+        return oracle.decomposition().is_center(l);
+      });
+      staged.add_bridge(e.u, e.v);
+      staged.add_patch_edge(e.u, e.v, staged.fresh_patch_block());
+      staged.append_event(e);
+      staged_paths.emplace_back();
+      staged.touch_component(bu);
+      staged.touch_component(bv);
+      if (count) ++report.patched_bridges;
+      return true;
+    }
+    if (bu == bv && oracle.biconnected(e.u, e.v) &&
+        oracle.two_edge_connected(e.u, e.v)) {
+      // (a) intra-block: lands inside one 2-connected, 2-edge-connected
+      // frozen block; record the edge under that (unique) block.
+      const BiconnPatchView view(*state_, staged);
+      const std::uint64_t blk = view.common_frozen_block(e.u, e.v);
+      if (blk != 0) {
+        staged.add_patch_edge(e.u, e.v, blk);
+        staged.append_event(e);
+        staged_paths.emplace_back();
+        staged.touch_component(bu);
+        if (count) ++report.absorbed_edges;
+        return true;
+      }
+      // Defensive: no common frozen block surfaced — treat as a merge.
+    }
+    // (c) cycle-closing block merge.
+    return plan_cycle_merge(e, staged, staged_paths, report, count, hint);
+  }
+
+  /// Case (c): endpoints already connected in the patched view but not in
+  /// one block. Find a simple u–v path (bounded bidirectional BFS over
+  /// frozen-minus-masks plus patch edges — or a still-valid memoized path
+  /// when replaying); inserting (u, v) merges exactly the blocks along it,
+  /// so unite their classes, demote swallowed bridges, and register the
+  /// path's 2ec anchor groups.
+  bool plan_cycle_merge(const graph::Edge& e, BiconnPatch& staged,
+                        MergePaths& staged_paths, BiconnUpdateReport& report,
+                        bool count,
+                        const std::vector<graph::vertex_id>* hint = nullptr) {
+    if (opt_.merge_search_limit == 0) {
+      report.rebuild_reason = RebuildReason::kCrossBlock;
+      return false;
+    }
+    const auto& oracle = state_->oracle;
+    const BiconnPatchView view(*state_, staged);
+    // In-merged-block shortcut: if some (possibly patch-merged) block
+    // class already contains both endpoints, the new edge lands inside a
+    // 2-connected block and absorbs with no structural change — the same
+    // argument as case (a), with the union supplying the block. Once churn
+    // has united most of a component into one class this is the common
+    // case, and it costs O(deg u + deg v) finds instead of a ball walk.
+    // The patched-2ec guard matters: a lone bridge block (K2) holds both
+    // endpoints of its edge without being 2-edge-connected, and a parallel
+    // copy of that bridge must fall through to the path search so the
+    // bridge is demoted and the endpoints' 2ec anchors united.
+    if (const std::uint64_t shared = common_patched_class(e, staged, view);
+        shared != 0 && view.two_edge_connected(e.u, e.v)) {
+      staged.add_patch_edge(e.u, e.v, shared);
+      staged.append_event(e);
+      staged_paths.emplace_back();
+      staged.touch_component(oracle.component_of(e.u));
+      staged.touch_component(oracle.component_of(e.v));
+      if (count) ++report.absorbed_edges;
+      return true;
+    }
+    // A memoized path whose edges all survive in the staged view closes
+    // the same cycle now as when it was found: a present simple cycle
+    // justifies uniting its blocks no matter which journal events were
+    // dropped since. Validation is O(path) presence probes; only a stale
+    // memo (an edge on it was deleted) pays a fresh search.
+    std::vector<graph::vertex_id> path;
+    if (hint != nullptr && path_still_present(*hint, e, staged)) {
+      path = *hint;
+    } else {
+      path = bounded_path_search(e.u, e.v, opt_.merge_search_limit,
+                                 [&](graph::vertex_id x, auto&& fn) {
+                                   view.for_patched_neighbors(x, fn);
+                                 });
+    }
+    if (path.empty()) {
+      report.rebuild_reason = RebuildReason::kCrossBlock;
+      return false;
+    }
+    // One class for every block the path crosses (plus the new edge).
+    std::uint64_t cls = 0;
+    std::size_t unions = 0;
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      const graph::vertex_id x = path[i];
+      const graph::vertex_id y = path[i + 1];
+      const std::uint64_t k = edge_key(x, y);
+      std::uint64_t c = staged.edge_copies(k) > 0 ? staged.edge_block_raw(k)
+                                                  : std::uint64_t{0};
+      if (c == 0) c = frozen_edge_block(x, y);
+      if (c == 0) {
+        // A path edge with no block — cannot happen (every non-self
+        // patched edge carries one); refuse rather than merge blindly.
+        report.rebuild_reason = RebuildReason::kCrossBlock;
+        return false;
+      }
+      c = staged.blocks().find(c);
+      if (cls == 0) {
+        cls = c;
+      } else if (cls != c) {
+        cls = staged.unite_blocks(cls, c);
+        ++unions;
+      }
+      // Bridges swallowed by the merge stop being bridges.
+      if (!staged.is_demoted_bridge(k) &&
+          (staged.is_patched_bridge(x, y) || oracle.is_bridge(x, y))) {
+        staged.demote_bridge(k);
+      }
+    }
+    staged.add_patch_edge(e.u, e.v, cls);
+    staged.append_event(e);
+    // The new cycle makes every path vertex 2-edge-connected with every
+    // other: unite their 2ec anchor groups (one keyed probe per vertex via
+    // the memoized canonical class), and flip their components to
+    // class-recomputed articulation/biconnected answers.
+    graph::vertex_id prev = graph::kNoVertex;
+    for (const graph::vertex_id x : path) {
+      staged.note_merged_component(oracle.component_of(x));
+      const graph::vertex_id a = staged.anchor_for(frozen_tec_class(x), x);
+      if (prev != graph::kNoVertex && prev != a) staged.tec_unite(prev, a);
+      prev = a;
+    }
+    staged.touch_component(oracle.component_of(e.u));
+    staged.touch_component(oracle.component_of(e.v));
+    staged_paths.push_back(std::move(path));
+    if (count) {
+      ++report.absorbed_edges;
+      report.merged_blocks += unions;
+    }
+    return true;
+  }
+
+  /// Planner-side memo of the frozen oracle's per-edge block key (0 =
+  /// none). Pure function of state_->oracle, so entries stay valid until a
+  /// rebuild installs a new oracle version (publish_and_commit clears it);
+  /// journal replays re-resolve the same frozen edges every mixed batch,
+  /// which this turns into hash probes. Writer-serialized like the planner.
+  [[nodiscard]] std::uint64_t frozen_edge_block(graph::vertex_id x,
+                                               graph::vertex_id y) {
+    const std::uint64_t k = edge_key(x, y);
+    const auto it = edge_block_memo_.find(k);
+    if (it != edge_block_memo_.end()) return it->second;
+    const auto b = state_->oracle.edge_bcc(x, y);
+    const std::uint64_t c = b ? block_key(*b) : 0;
+    edge_block_memo_.emplace(k, c);
+    return c;
+  }
+
+  /// Same discipline for the oracle's canonical 2ec class of a vertex —
+  /// the anchor loop's key. One oracle computation per distinct vertex per
+  /// oracle version instead of per journal replay.
+  [[nodiscard]] std::uint64_t frozen_tec_class(graph::vertex_id x) {
+    const auto it = tec_class_memo_.find(x);
+    if (it != tec_class_memo_.end()) return it->second;
+    const std::uint64_t c = state_->oracle.two_edge_class(x);
+    tec_class_memo_.emplace(x, c);
+    return c;
+  }
+
+  /// The block class (root key) containing both endpoints of e, or 0 when
+  /// none does. A vertex's blocks are the classes of its incident edges in
+  /// the patched view, so the test is a class-list intersection —
+  /// deterministic because both lists follow the view's enumeration order.
+  [[nodiscard]] std::uint64_t common_patched_class(
+      const graph::Edge& e, const BiconnPatch& staged,
+      const BiconnPatchView& view) {
+    const auto classes_of = [&](graph::vertex_id x,
+                                std::vector<std::uint64_t>& out) {
+      view.for_patched_neighbors(x, [&](graph::vertex_id w) {
+        if (w == x) return;
+        const std::uint64_t k = edge_key(x, w);
+        std::uint64_t c = staged.edge_copies(k) > 0
+                              ? staged.edge_block_raw(k)
+                              : std::uint64_t{0};
+        if (c == 0) c = frozen_edge_block(x, w);
+        if (c != 0) out.push_back(staged.blocks().find(c));
+      });
+    };
+    std::vector<std::uint64_t> cu;
+    std::vector<std::uint64_t> cv;
+    classes_of(e.u, cu);
+    if (cu.empty()) return 0;
+    classes_of(e.v, cv);
+    for (const std::uint64_t c : cv) {
+      if (std::find(cu.begin(), cu.end(), c) != cu.end()) return c;
+    }
+    return 0;
+  }
+
+  /// A memoized merge path is reusable iff it still runs endpoint to
+  /// endpoint over edges present in the staged patched view: frozen copies
+  /// not fully masked, plus copies the staged patch has (re)inserted.
+  [[nodiscard]] bool path_still_present(
+      const std::vector<graph::vertex_id>& path, const graph::Edge& e,
+      const BiconnPatch& staged) const {
+    if (path.size() < 2 || path.front() != e.u || path.back() != e.v) {
+      return false;
+    }
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      const std::uint64_t k = edge_key(path[i], path[i + 1]);
+      if (staged.edge_copies(k) == 0 &&
+          state_->graph->multiplicity(path[i], path[i + 1]) <=
+              std::size_t{staged.masked_count(k)}) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Deletion triage + journal replay: stage a *fresh* patch expressing
+  /// (old patch + batch). Deletions of patch-inserted copies cancel against
+  /// the journal; each frozen-edge deletion must pass the 2-connectivity
+  /// certificate and becomes a mask. The surviving journal replays through
+  /// plan_insert_edge (uncounted), then the batch's insertions plan
+  /// normally. Returns false with report.rebuild_reason set on any refusal.
+  bool plan_fast_mixed(const UpdateBatch& batch, BiconnPatch& staged,
+                       MergePaths& staged_paths,
+                       BiconnUpdateReport& report) {
+    const auto& oracle = state_->oracle;
+    // 1. Classify deletions: per edge key, up to the journal's copy count
+    // cancels in the patch; the overflow must delete frozen copies.
+    std::unordered_map<std::uint64_t, std::uint32_t> drop;
+    graph::EdgeList frozen_dels;
+    for (const graph::Edge& e : batch.deletions) {
+      const std::uint64_t k = edge_key(e.u, e.v);
+      auto& d = drop[k];
+      if (d < patch_.edge_copies(k)) {
+        ++d;
+      } else {
+        frozen_dels.push_back(e);
+      }
+    }
+    // 2. Carry the permanently-valid prior masks and breadcrumbs, then
+    // certify each new frozen deletion sequentially (each certificate runs
+    // against frozen minus the masks before it).
+    staged.carry_masks_from(patch_);
+    staged.carry_touched_from(patch_);
+    for (const graph::Edge& e : frozen_dels) {
+      if (e.u != e.v && !certify_frozen_deletion(e, staged)) {
+        report.rebuild_reason = RebuildReason::kTriageFailed;
+        return false;
+      }
+      staged.add_mask(edge_key(e.u, e.v));
+      staged.touch_component(oracle.component_of(e.u));
+      staged.touch_component(oracle.component_of(e.v));
+      ++report.absorbed_deletions;
+    }
+    // 3. Replay the surviving journal into the fresh patch. Cancelled
+    // insert+delete pairs leave the component subgraph bit-identical, but
+    // both edges churned it — keep the breadcrumbs. Each surviving event
+    // hands the planner the path its merge followed last time, so an
+    // unaffected cycle merge re-validates in O(path) instead of
+    // re-searching.
+    const auto& events = patch_.events();
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      const graph::Edge& ev = events[i];
+      const auto it = drop.find(edge_key(ev.u, ev.v));
+      if (it != drop.end() && it->second > 0) {
+        --it->second;
+        staged.touch_component(oracle.component_of(ev.u));
+        staged.touch_component(oracle.component_of(ev.v));
+        ++report.absorbed_deletions;
+        continue;
+      }
+      const std::vector<graph::vertex_id>* hint =
+          i < event_paths_.size() && !event_paths_[i].empty()
+              ? &event_paths_[i]
+              : nullptr;
+      if (!plan_insert_edge(ev, staged, staged_paths, report,
+                            /*count=*/false, hint)) {
+        report.rebuild_reason = RebuildReason::kTriageFailed;
+        return false;
+      }
+    }
+    // 4. The batch's own insertions.
+    for (const graph::Edge& e : batch.insertions) {
+      if (!plan_insert_edge(e, staged, staged_paths, report,
+                            /*count=*/true)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// The deletion certificate: after masking one more copy of (u, v), do
+  /// two internally vertex-disjoint u–v replacement paths survive in the
+  /// frozen graph minus masks? (Parallel copies count as paths; patch edges
+  /// deliberately do not — that is what makes masks permanently valid under
+  /// journal replay.) Greedy two-path check: sound, conservatively
+  /// incomplete — a miss only costs a rebuild, never a wrong answer.
+  [[nodiscard]] bool certify_frozen_deletion(const graph::Edge& e,
+                                             const BiconnPatch& staged) const {
+    if (opt_.merge_search_limit == 0) return false;
+    const std::uint64_t k = edge_key(e.u, e.v);
+    const BiconnPatchView view(*state_, staged);
+    const std::size_t frozen_copies = state_->graph->multiplicity(e.u, e.v);
+    const std::size_t gone = std::size_t{staged.masked_count(k)} + 1;
+    if (frozen_copies < gone) return false;  // nothing frozen left to mask
+    const std::size_t remaining = frozen_copies - gone;
+    if (remaining >= 2) return true;  // two surviving parallel copies
+    const auto nbrs = [&](graph::vertex_id x, auto&& fn) {
+      view.for_frozen_unmasked(x, [&](graph::vertex_id w) {
+        if (edge_key(x, w) == k) return;  // avoid every (u, v) copy
+        fn(w);
+      });
+    };
+    const auto p1 =
+        bounded_path_search(e.u, e.v, opt_.merge_search_limit, nbrs);
+    if (p1.empty()) return false;
+    if (remaining == 1) return true;  // surviving copy + p1 are disjoint
+    const std::unordered_set<graph::vertex_id> interior(p1.begin() + 1,
+                                                        p1.end() - 1);
+    const auto p2 = bounded_path_search(
+        e.u, e.v, opt_.merge_search_limit, nbrs,
+        [&](graph::vertex_id w) { return interior.count(w) != 0; });
+    return !p2.empty();
   }
 
   /// Commit the planned fast path: mutate working_ in place under a
   /// nothrow undo log, publish, then swap the staged patch in. Mirrors
   /// DynamicConnectivity::apply_fast_insert.
   void apply_fast_insert(const UpdateBatch& batch, BiconnPatch&& staged,
+                         MergePaths&& staged_paths,
                          const BiconnUpdateReport& report,
                          const amem::Phase& measure) {
     const graph::EdgeList& insertions = batch.insertions;
@@ -409,7 +803,41 @@ class DynamicBiconnectivity {
     }
     working_.sweep_empty_patches(insertions);
     patch_ = std::move(staged);
+    event_paths_ = std::move(staged_paths);
     epoch_.store(report.epoch, std::memory_order_release);
+  }
+
+  /// Commit the planned fast mixed path. Deletions have no undo log, so
+  /// this stages a scratch overlay copy (like the rebuild paths) and
+  /// commits it with the shared log-then-publish noexcept sequence; the
+  /// oracle version is simply retained.
+  void apply_fast_mixed(const UpdateBatch& batch, BiconnPatch&& staged,
+                        MergePaths&& staged_paths,
+                        BiconnUpdateReport& report,
+                        const amem::Phase& measure) {
+    OverlayGraph overlay = working_;
+    for (const graph::Edge& e : batch.deletions) {
+      overlay.delete_edge(e.u, e.v);
+    }
+    for (const graph::Edge& e : batch.insertions) {
+      overlay.insert_edge(e.u, e.v);
+    }
+    if (failure_hook_) failure_hook_(BiconnUpdateReport::Path::kFastMixed);
+    amem::accumulate_phase("dynamic_biconn/fast_mixed", measure.delta());
+    log_and_publish(batch,
+                    Staged{base_, std::move(overlay), state_,
+                           std::move(staged), std::move(staged_paths)},
+                    report);
+  }
+
+  /// Post-commit bookkeeping shared by both absorbing paths.
+  void finish_absorbed(BiconnUpdateReport& report, const amem::Phase& measure,
+                       std::chrono::steady_clock::time_point start) {
+    ++applied_batches_;
+    ++absorbed_batches_;
+    report.absorb_rate =
+        double(absorbed_batches_) / double(applied_batches_);
+    stamp_report(report, measure.delta(), start);
   }
 
   /// Selective rebuild: relabel only the components the batch or the
@@ -468,7 +896,8 @@ class DynamicBiconnectivity {
     report.dirty_clusters = stats.dirty_clusters;
     report.rebuild_threads = stats.threads;
     report.rebuild_shards = stats.shards;
-    return Staged{base_, std::move(staged), std::move(state), BiconnPatch{}};
+    return Staged{base_, std::move(staged), std::move(state), BiconnPatch{},
+                  MergePaths{}};
   }
 
   /// Flatten the staged overlay into a fresh CSR base and rebuild from
@@ -509,7 +938,7 @@ class DynamicBiconnectivity {
     auto state = std::make_shared<VersionedBiconnOracle>(std::move(frozen),
                                                          std::move(oracle));
     return Staged{std::move(base), std::move(working), std::move(state),
-                  BiconnPatch{}};
+                  BiconnPatch{}, MergePaths{}};
   }
 
   /// Publish the staged epoch's snapshot, then swap the staged members in
@@ -525,6 +954,10 @@ class DynamicBiconnectivity {
     working_ = std::move(next.working);
     state_ = std::move(next.state);
     patch_ = std::move(next.patch);
+    event_paths_ = std::move(next.paths);
+    // A new oracle version invalidates the frozen-oracle planner memos.
+    edge_block_memo_.clear();
+    tec_class_memo_.clear();
     epoch_.store(report.epoch, std::memory_order_release);
   }
 
@@ -549,10 +982,19 @@ class DynamicBiconnectivity {
   std::size_t n_ = 0;     // fixed vertex count (reader-safe)
   OverlayGraph working_;  // the current logical graph (base_ + deltas)
   BiconnPatch patch_;     // pending absorptions relative to state_
+  MergePaths event_paths_;  // per patch_ journal event: its merge path
+  /// Frozen-oracle planner memos (see frozen_edge_block / frozen_tec_class):
+  /// cleared whenever publish_and_commit installs a new oracle version.
+  std::unordered_map<std::uint64_t, std::uint64_t> edge_block_memo_;
+  std::unordered_map<graph::vertex_id, std::uint64_t> tec_class_memo_;
   std::shared_ptr<const VersionedBiconnOracle> state_;
   BiconnSnapshotStore store_;
   std::shared_ptr<DurabilityLog> log_;  // optional; see set_durability_log
   std::function<void(BiconnUpdateReport::Path)> failure_hook_;  // test-only
+  // Absorb-rate accounting (writer lock): apply() calls only — the initial
+  // build and compact() touch neither counter.
+  std::uint64_t applied_batches_ = 0;
+  std::uint64_t absorbed_batches_ = 0;
 };
 
 }  // namespace wecc::dynamic

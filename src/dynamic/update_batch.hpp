@@ -28,6 +28,7 @@ struct UpdateReportBase {
     kFastInsert,
     kSelectiveRebuild,
     kCompaction,
+    kFastMixed,  // biconn block-merge path: deletions absorbed too
   };
   std::uint64_t epoch = 0;
   Path path = Path::kFastInsert;
@@ -57,6 +58,37 @@ struct UpdateReportBase {
     case UpdateReportBase::Path::kFastInsert: return "fast-insert";
     case UpdateReportBase::Path::kSelectiveRebuild: return "selective";
     case UpdateReportBase::Path::kCompaction: return "compaction";
+    case UpdateReportBase::Path::kFastMixed: return "fast-mixed";
+  }
+  return "?";
+}
+
+/// Why a biconnectivity batch fell off the O(B)-write fast path (kNone when
+/// it did not). Carried on BiconnUpdateReport and over the wire, so the
+/// server's shutdown stats can say *which* absorbability condition failed,
+/// not just that a rebuild happened.
+enum class RebuildReason : std::uint8_t {
+  kNone,              // batch absorbed (or initial build)
+  kCrossBlock,        // an insertion no block merge could express
+  kTriageFailed,      // a deletion failed the 2-connectivity certificate
+  kDeletionOverflow,  // deletions present but the patch is too large to replay
+  kCompactionDue,     // overlay delta crossed compact_threshold
+  kForced,            // explicit compact()
+};
+
+/// Number of RebuildReason values — sizes histograms (server stats).
+inline constexpr std::size_t kNumRebuildReasons =
+    std::size_t(RebuildReason::kForced) + 1;
+
+[[nodiscard]] constexpr const char* rebuild_reason_name(
+    RebuildReason r) noexcept {
+  switch (r) {
+    case RebuildReason::kNone: return "none";
+    case RebuildReason::kCrossBlock: return "cross-block";
+    case RebuildReason::kTriageFailed: return "triage-failed";
+    case RebuildReason::kDeletionOverflow: return "deletion-overflow";
+    case RebuildReason::kCompactionDue: return "compaction";
+    case RebuildReason::kForced: return "forced";
   }
   return "?";
 }

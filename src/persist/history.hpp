@@ -67,6 +67,10 @@ class HistoricView {
         return qv.is_articulation(u);
       case dynamic::MixedQuery::Kind::kBridge:
         return qv.is_bridge(u, v);
+      case dynamic::MixedQuery::Kind::kEdgeBcc:
+        // Historic views serve booleans only; block ids are epoch-internal
+        // names of the live snapshot, meaningless across reconstructions.
+        return false;
     }
     return false;
   }

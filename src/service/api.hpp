@@ -54,12 +54,17 @@ struct QueryRequest {
 };
 
 /// `answers[i]` is queries[i]'s boolean (0/1); `epoch` is the snapshot that
-/// answered, so a caller can pin it for follow-up queries. On any status
-/// other than kOk the answers are empty and epoch is 0.
+/// answered, so a caller can pin it for follow-up queries. `block_ids`
+/// holds one entry per kEdgeBcc query, in query order (0 = edge absent /
+/// self-loop; the corresponding answers[] boolean is `id != 0`) — ids are
+/// epoch-internal names, comparable for equality within one response, not
+/// across epochs. On any status other than kOk the answers are empty and
+/// epoch is 0.
 struct QueryResponse {
   Status status = Status::kOk;
   std::uint64_t epoch = 0;
   std::vector<std::uint8_t> answers;
+  std::vector<std::uint64_t> block_ids;
 };
 
 /// One epoch-advancing operation: apply `batch`, or (compact=true, batch
@@ -83,6 +88,15 @@ struct ApplyResult {
   std::uint64_t absorbed_edges = 0;
   std::uint64_t patched_bridges = 0;
   std::uint64_t dirty_components = 0;
+  std::uint64_t merged_blocks = 0;
+  std::uint64_t absorbed_deletions = 0;
+  /// Why the batch fell off the fast path (dynamic::RebuildReason as its
+  /// u8 value; 0 = it did not — see rebuild_reason_name()).
+  std::uint8_t rebuild_reason = 0;
+  /// Cumulative absorb rate in parts-per-million (1000000 = every apply()
+  /// batch since construction was absorbed). Fixed-point keeps the wire
+  /// payload integer-only.
+  std::uint64_t absorb_rate_ppm = 1000000;
 };
 
 enum class FacadeKind : std::uint8_t {

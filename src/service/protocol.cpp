@@ -142,7 +142,7 @@ QueryRequest get_query_request(Reader& r) {
   m.queries.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
     const std::uint8_t kind = r.u8();
-    if (kind > std::uint8_t(dynamic::MixedQuery::Kind::kBridge)) {
+    if (kind > std::uint8_t(dynamic::MixedQuery::Kind::kEdgeBcc)) {
       throw ProtocolError("unknown query kind");
     }
     const graph::vertex_id u = r.u32();
@@ -164,6 +164,8 @@ void put_payload(Writer& w, const QueryResponse& m) {
   w.u64(m.epoch);
   w.u32(std::uint32_t(m.answers.size()));
   if (!m.answers.empty()) w.bytes(m.answers.data(), m.answers.size());
+  w.u32(std::uint32_t(m.block_ids.size()));
+  for (const std::uint64_t id : m.block_ids) w.u64(id);
 }
 
 QueryResponse get_query_response(Reader& r) {
@@ -173,6 +175,10 @@ QueryResponse get_query_response(Reader& r) {
   const std::uint32_t count = r.u32();
   const auto raw = r.bytes(count);
   m.answers.assign(raw.begin(), raw.end());
+  const std::uint32_t id_count = r.u32();
+  r.need_at_least(id_count, 8);
+  m.block_ids.reserve(id_count);
+  for (std::uint32_t i = 0; i < id_count; ++i) m.block_ids.push_back(r.u64());
   return m;
 }
 
@@ -204,13 +210,17 @@ void put_payload(Writer& w, const ApplyResult& m) {
   w.u64(m.absorbed_edges);
   w.u64(m.patched_bridges);
   w.u64(m.dirty_components);
+  w.u64(m.merged_blocks);
+  w.u64(m.absorbed_deletions);
+  w.u8(m.rebuild_reason);
+  w.u64(m.absorb_rate_ppm);
 }
 
 ApplyResult get_apply_result(Reader& r) {
   ApplyResult m;
   m.report.epoch = r.u64();
   const std::uint8_t path = r.u8();
-  if (path > std::uint8_t(dynamic::UpdateReportBase::Path::kCompaction)) {
+  if (path > std::uint8_t(dynamic::UpdateReportBase::Path::kFastMixed)) {
     throw ProtocolError("unknown update path");
   }
   m.report.path = dynamic::UpdateReportBase::Path(path);
@@ -223,6 +233,14 @@ ApplyResult get_apply_result(Reader& r) {
   m.absorbed_edges = r.u64();
   m.patched_bridges = r.u64();
   m.dirty_components = r.u64();
+  m.merged_blocks = r.u64();
+  m.absorbed_deletions = r.u64();
+  const std::uint8_t reason = r.u8();
+  if (reason > std::uint8_t(dynamic::RebuildReason::kForced)) {
+    throw ProtocolError("unknown rebuild reason");
+  }
+  m.rebuild_reason = reason;
+  m.absorb_rate_ppm = r.u64();
   return m;
 }
 

@@ -32,7 +32,10 @@
 namespace wecc::service::wire {
 
 inline constexpr std::uint32_t kMagic = 0x53434557u;  // "WECS" on the wire
-inline constexpr std::uint8_t kProtocolVersion = 1;
+/// Version 2: kEdgeBcc query kind, QueryResponse block_ids section,
+/// ApplyResult block-merge fields (merged_blocks / absorbed_deletions /
+/// rebuild_reason / absorb_rate_ppm), kFastMixed update path.
+inline constexpr std::uint8_t kProtocolVersion = 2;
 inline constexpr std::size_t kHeaderBytes = 16;
 /// Refuse frames beyond this payload size before allocating — a corrupt
 /// or hostile length prefix must not become a 4 GiB allocation.

@@ -59,6 +59,11 @@ struct Server::Impl {
   std::atomic<std::uint64_t> n_queries{0};
   std::atomic<std::uint64_t> n_applies{0};
   std::atomic<std::uint64_t> n_protocol_errors{0};
+  // Written only by the writer thread (applies are already serialized
+  // there), read by stats() — atomics, no extra lock.
+  std::atomic<std::uint64_t> last_absorb_rate_ppm{1000000};
+  std::array<std::atomic<std::uint64_t>, dynamic::kNumRebuildReasons>
+      rebuild_reasons{};
 
   void start() {
     listener = net::listen_on(opt.bind_address, opt.port, opt.backlog);
@@ -103,7 +108,14 @@ struct Server::Impl {
         queue.pop_front();
       }
       try {
-        job->result.set_value(handler.apply(job->request));
+        ApplyResult result = handler.apply(job->request);
+        last_absorb_rate_ppm.store(result.absorb_rate_ppm,
+                                   std::memory_order_relaxed);
+        if (result.rebuild_reason < dynamic::kNumRebuildReasons) {
+          rebuild_reasons[result.rebuild_reason].fetch_add(
+              1, std::memory_order_relaxed);
+        }
+        job->result.set_value(std::move(result));
       } catch (...) {
         job->result.set_exception(std::current_exception());
       }
@@ -235,6 +247,12 @@ Server::Stats Server::stats() const {
   out.applies = impl_->n_applies.load(std::memory_order_relaxed);
   out.protocol_errors =
       impl_->n_protocol_errors.load(std::memory_order_relaxed);
+  out.absorb_rate_ppm =
+      impl_->last_absorb_rate_ppm.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < out.rebuild_reasons.size(); ++i) {
+    out.rebuild_reasons[i] =
+        impl_->rebuild_reasons[i].load(std::memory_order_relaxed);
+  }
   return out;
 }
 

@@ -17,10 +17,12 @@
 // listener and every session socket down and joins all threads.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
 
+#include "dynamic/update_batch.hpp"
 #include "service/api.hpp"
 
 namespace wecc::service {
@@ -55,6 +57,12 @@ class Server {
     std::uint64_t queries = 0;
     std::uint64_t applies = 0;
     std::uint64_t protocol_errors = 0;
+    /// Cumulative absorb rate reported by the most recent apply, in parts
+    /// per million (1000000 until the first apply completes).
+    std::uint64_t absorb_rate_ppm = 1000000;
+    /// Per-RebuildReason histogram of completed applies, indexed by the
+    /// dynamic::RebuildReason value ([0] = absorbed / no rebuild).
+    std::array<std::uint64_t, dynamic::kNumRebuildReasons> rebuild_reasons{};
   };
   [[nodiscard]] Stats stats() const;
 

@@ -24,7 +24,8 @@ namespace wecc::service {
 namespace detail {
 
 /// Which query kinds a facade's snapshot can answer: the connectivity
-/// snapshot only kConnected, the biconnectivity snapshot all five.
+/// snapshot only kConnected, the biconnectivity snapshot all six
+/// (kEdgeBcc included — its block ids ride on QueryResponse::block_ids).
 [[nodiscard]] inline bool supports(const dynamic::Snapshot&,
                                    dynamic::MixedQuery::Kind kind) noexcept {
   return kind == dynamic::MixedQuery::Kind::kConnected;
@@ -75,7 +76,24 @@ inline ApplyResult to_apply_result(const dynamic::BiconnUpdateReport& r) {
   out.absorbed_edges = r.absorbed_edges;
   out.patched_bridges = r.patched_bridges;
   out.dirty_components = r.dirty_components;
+  out.merged_blocks = r.merged_blocks;
+  out.absorbed_deletions = r.absorbed_deletions;
+  out.rebuild_reason = static_cast<std::uint8_t>(r.rebuild_reason);
+  out.absorb_rate_ppm = static_cast<std::uint64_t>(r.absorb_rate * 1e6);
   return out;
+}
+
+/// Block ids for the kEdgeBcc queries of a request; only the biconnectivity
+/// snapshot has them (supports() already rejected kEdgeBcc on the other).
+inline std::vector<std::uint64_t> edge_block_ids(
+    std::shared_ptr<const dynamic::Snapshot>,
+    std::span<const dynamic::MixedQuery>) {
+  return {};
+}
+inline std::vector<std::uint64_t> edge_block_ids(
+    std::shared_ptr<const dynamic::BiconnSnapshot> snap,
+    std::span<const dynamic::MixedQuery> queries) {
+  return dynamic::BiconnBatchQueryEngine(std::move(snap)).block_ids(queries);
 }
 
 }  // namespace detail
@@ -104,20 +122,21 @@ class FacadeService final : public ServiceHandler {
       // kArticulation probes only u; v is ignored and may be anything.
       const bool v_used = q.kind != dynamic::MixedQuery::Kind::kArticulation;
       if (q.u >= n || (v_used && q.v >= n)) {
-        return QueryResponse{Status::kBadRequest, 0, {}};
+        return QueryResponse{Status::kBadRequest, 0, {}, {}};
       }
     }
     auto snap = req.pin_epoch == kLatestEpoch
                     ? facade_.snapshot()
                     : facade_.snapshot_at(req.pin_epoch);
-    if (!snap) return QueryResponse{Status::kEpochGone, 0, {}};
+    if (!snap) return QueryResponse{Status::kEpochGone, 0, {}, {}};
     for (const dynamic::MixedQuery& q : req.queries) {
       if (!detail::supports(*snap, q.kind)) {
-        return QueryResponse{Status::kUnsupported, 0, {}};
+        return QueryResponse{Status::kUnsupported, 0, {}, {}};
       }
     }
     QueryResponse out;
     out.epoch = snap->epoch();
+    out.block_ids = detail::edge_block_ids(snap, req.queries);
     out.answers = detail::answer_all(std::move(snap), req.queries);
     return out;
   }

@@ -53,14 +53,19 @@ void check_oracle(const Graph& g, const Oracle& o,
     ASSERT_EQ(o.is_bridge(u, v), bool(truth.is_bridge[e]))
         << tag << " bridge " << u << "-" << v;
   }
+  // Canonical 2ec class keys must induce exactly the pairwise relation.
+  std::vector<std::uint64_t> tec_class(n);
+  for (vertex_id v = 0; v < n; ++v) tec_class[v] = o.two_edge_class(v);
   for (vertex_id u = 0; u < n; ++u) {
     for (vertex_id v = u + 1; v < n; ++v) {
       ASSERT_EQ(o.biconnected(u, v), truth.same_bcc(lg, u, v))
           << tag << " biconnected " << u << "," << v;
-      ASSERT_EQ(o.two_edge_connected(u, v),
-                truth.cc_label[u] == truth.cc_label[v] &&
-                    truth.two_edge_connected(u, v))
+      const bool tec = truth.cc_label[u] == truth.cc_label[v] &&
+                       truth.two_edge_connected(u, v);
+      ASSERT_EQ(o.two_edge_connected(u, v), tec)
           << tag << " 2ec " << u << "," << v;
+      ASSERT_EQ(tec_class[u] == tec_class[v], tec)
+          << tag << " 2ec class " << u << "," << v;
     }
   }
   // Edge labels must induce exactly the ground-truth edge partition.

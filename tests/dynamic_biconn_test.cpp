@@ -8,6 +8,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <map>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -116,6 +118,42 @@ void expect_matches_truth(const DynamicBiconnectivity& dbc,
   }
 }
 
+/// Cross-check the snapshot's edge block ids against the Hopcroft–Tarjan
+/// edge_bcc partition: every present non-self-loop pair answers a nonzero
+/// id (patch-inserted edges included), and two pairs share a snapshot id
+/// iff ground truth puts them in the same biconnected component. Ids are
+/// epoch-internal names, so the comparison is a bijection check, not an
+/// equality check.
+void expect_block_partition_matches(const DynamicBiconnectivity& dbc,
+                                    const EdgeSetModel& model) {
+  const Graph g = model.materialize();
+  const Truth truth(g);
+  const auto snap = dbc.snapshot();
+  const std::size_t n = g.num_vertices();
+  std::map<std::uint64_t, std::uint32_t> snap_to_truth;
+  std::map<std::uint32_t, std::uint64_t> truth_to_snap;
+  for (const auto& [pair, count] : model.edges()) {
+    const auto [u, v] = pair;
+    const std::uint64_t id = snap->edge_block_id(u, v);
+    if (u == v) {
+      EXPECT_EQ(id, 0u) << "epoch " << snap->epoch() << " self-loop " << u;
+      continue;
+    }
+    ASSERT_NE(id, 0u)
+        << "epoch " << snap->epoch() << " edge " << u << "," << v;
+    const std::uint32_t tid =
+        truth.bc.edge_bcc[truth.pair_edges[std::size_t(u) * n + v].front()];
+    const auto [fwd, fwd_fresh] = snap_to_truth.emplace(id, tid);
+    EXPECT_EQ(fwd->second, tid)
+        << "epoch " << snap->epoch() << " edge " << u << "," << v
+        << ": snapshot block " << id << " straddles truth blocks";
+    const auto [rev, rev_fresh] = truth_to_snap.emplace(tid, id);
+    EXPECT_EQ(rev->second, id)
+        << "epoch " << snap->epoch() << " edge " << u << "," << v
+        << ": truth block " << tid << " split across snapshot blocks";
+  }
+}
+
 TEST(DynamicBiconn, FastPathAbsorbsIntraBlockInserts) {
   // A chord inside a cycle lands inside the (single) block: absorbed with
   // zero structural change.
@@ -198,10 +236,11 @@ TEST(DynamicBiconn, ChainedMergesWithinOneBatch) {
   EXPECT_FALSE(dbc.is_articulation(2));
 }
 
-TEST(DynamicBiconn, NonAbsorbableInsertTriggersSelectiveRebuild) {
-  // An intra-component edge spanning two blocks (path endpoints) cannot be
-  // absorbed: the batch takes the selective rebuild path and the new cycle
-  // is answered exactly.
+TEST(DynamicBiconn, CycleClosingInsertAbsorbedByBlockMerge) {
+  // An intra-component edge spanning several blocks (path endpoints)
+  // closes a cycle: the planner unites the blocks along the path and the
+  // batch stays on the O(B)-write fast path — where it used to pay a
+  // selective rebuild — with the new cycle answered exactly.
   const Graph g = graph::gen::path(6);
   EdgeSetModel model(6, g.edge_list());
   DynamicBiconnectivity dbc(g, opts(3));
@@ -209,29 +248,30 @@ TEST(DynamicBiconn, NonAbsorbableInsertTriggersSelectiveRebuild) {
   UpdateBatch b = UpdateBatch::inserting({{0, 3}});
   const BiconnUpdateReport r = dbc.apply(b);
   apply_to_model(model, b);
-  EXPECT_EQ(r.path, Path::kSelectiveRebuild);
-  EXPECT_GE(r.dirty_components, 1u);
+  EXPECT_EQ(r.path, Path::kFastInsert);
+  EXPECT_EQ(r.rebuild_reason, dynamic::RebuildReason::kNone);
+  EXPECT_GE(r.merged_blocks, 2u);  // three path blocks fold into one
   expect_matches_truth(dbc, model);
   EXPECT_TRUE(dbc.biconnected(0, 3));
   EXPECT_TRUE(dbc.two_edge_connected(1, 2));
   EXPECT_FALSE(dbc.biconnected(3, 5));
   EXPECT_TRUE(dbc.is_bridge(4, 5));
 
-  // A parallel copy of a bridge is likewise non-absorbable (it flips the
-  // bridge bit) — and must answer correctly after the rebuild.
+  // A parallel copy of a bridge closes a 2-cycle: also a block merge
+  // (demoting the bridge), not a rebuild.
   UpdateBatch dup = UpdateBatch::inserting({{4, 5}});
   const BiconnUpdateReport r2 = dbc.apply(dup);
   apply_to_model(model, dup);
-  EXPECT_EQ(r2.path, Path::kSelectiveRebuild);
+  EXPECT_EQ(r2.path, Path::kFastInsert);
   expect_matches_truth(dbc, model);
   EXPECT_FALSE(dbc.is_bridge(4, 5));
   EXPECT_TRUE(dbc.two_edge_connected(4, 5));
 }
 
-TEST(DynamicBiconn, CycleThroughPatchedBridgeRebuilds) {
+TEST(DynamicBiconn, CycleThroughPatchedBridgeAbsorbed) {
   // Epoch 1 patches a bridge between two triangles; a second edge between
-  // the same components would create a cycle through the patched bridge —
-  // the fast path must refuse and the rebuild must clear the bridge.
+  // the same components closes a cycle through the patched bridge. The
+  // block-merge planner absorbs it, demoting the patched bridge in place.
   const Graph g =
       Graph::from_edges(6, {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}});
   EdgeSetModel model(6, g.edge_list());
@@ -245,10 +285,33 @@ TEST(DynamicBiconn, CycleThroughPatchedBridgeRebuilds) {
   UpdateBatch cycle = UpdateBatch::inserting({{1, 4}});
   const BiconnUpdateReport r = dbc.apply(cycle);
   apply_to_model(model, cycle);
-  EXPECT_EQ(r.path, Path::kSelectiveRebuild);
+  EXPECT_EQ(r.path, Path::kFastInsert);
+  EXPECT_EQ(r.rebuild_reason, dynamic::RebuildReason::kNone);
+  EXPECT_GE(r.merged_blocks, 1u);
   expect_matches_truth(dbc, model);
   EXPECT_FALSE(dbc.is_bridge(0, 3));
   EXPECT_TRUE(dbc.two_edge_connected(2, 5));
+}
+
+TEST(DynamicBiconn, MergeSearchLimitZeroRestoresRebuilds) {
+  // merge_search_limit = 0 disables the block-merge algebra: the same
+  // cycle-closing insert must fall back to a selective rebuild (the
+  // pre-block-merge behavior) and still answer exactly.
+  const Graph g = graph::gen::path(6);
+  EdgeSetModel model(6, g.edge_list());
+  DynamicBiconnOptions o = opts(3);
+  o.merge_search_limit = 0;
+  DynamicBiconnectivity dbc(g, o);
+
+  UpdateBatch b = UpdateBatch::inserting({{0, 3}});
+  const BiconnUpdateReport r = dbc.apply(b);
+  apply_to_model(model, b);
+  EXPECT_EQ(r.path, Path::kSelectiveRebuild);
+  EXPECT_EQ(r.rebuild_reason, dynamic::RebuildReason::kCrossBlock);
+  EXPECT_GE(r.dirty_components, 1u);
+  EXPECT_LT(r.absorb_rate, 1.0);
+  expect_matches_truth(dbc, model);
+  EXPECT_TRUE(dbc.biconnected(0, 3));
 }
 
 TEST(DynamicBiconn, DeletionsSelectiveRebuildAndSplit) {
@@ -377,6 +440,53 @@ TEST(DynamicBiconn, InsertOnlyStressStaysOnFastPath) {
   }
 }
 
+TEST(DynamicBiconn, DenseChurnStressStaysAbsorbedAndExact) {
+  // The loadgen's dense-churn shape: mostly fresh (often cycle-closing)
+  // inserts plus LIFO deletions of this test's own recent insertions.
+  // Block-merge absorbs the inserts and deletion triage cancels the LIFO
+  // deletions against the patch journal, so nearly every batch stays on
+  // the O(B)-write fast path — while every epoch's full query surface,
+  // including the edge_bcc block-id partition, matches Hopcroft–Tarjan.
+  const Graph g = graph::gen::percolation_grid(8, 8, 0.6, 17);
+  const std::size_t n = g.num_vertices();
+  EdgeSetModel model(n, g.edge_list());
+  DynamicBiconnectivity dbc(g, opts(4));
+
+  std::uint64_t rs = 2024;
+  std::vector<Edge> stack;
+  double last_rate = 1.0;
+  for (int round = 0; round < 20; ++round) {
+    UpdateBatch batch;
+    for (int i = 0; i < 6; ++i) {
+      rs = parallel::mix64(rs + 1);
+      const auto u = vertex_id(rs % n);
+      rs = parallel::mix64(rs);
+      const auto v = vertex_id(rs % n);
+      if (u == v) continue;
+      batch.insertions.push_back({u, v});
+    }
+    for (int i = 0; i < 2 && !stack.empty(); ++i) {
+      const Edge e = stack.back();
+      bool dup = false;  // a batch may delete each pair at most once
+      for (const Edge& d : batch.deletions) {
+        dup |= std::minmax(d.u, d.v) == std::minmax(e.u, e.v);
+      }
+      if (dup) break;
+      batch.deletions.push_back(e);
+      stack.pop_back();
+    }
+    const BiconnUpdateReport r = dbc.apply(batch);
+    last_rate = r.absorb_rate;
+    for (const Edge& e : batch.insertions) stack.push_back(e);
+    apply_to_model(model, batch);
+    expect_matches_truth(dbc, model);
+    expect_block_partition_matches(dbc, model);
+  }
+  // Dense churn is the absorbable regime: the cumulative absorb rate must
+  // clear the same bar the perf gate holds the bench rows to.
+  EXPECT_GE(last_rate, 0.9);
+}
+
 TEST(DynamicBiconn, SnapshotIsolationAcrossEpochs) {
   const Graph g = Graph::from_edges(6, {{0, 1}, {1, 2}, {2, 0}, {3, 4}});
   DynamicBiconnectivity dbc(g, opts(2));
@@ -464,12 +574,19 @@ TEST(DynamicBiconn, ApplyStrongExceptionGuaranteeAllPaths) {
   });
 
   const UpdateBatch fast = UpdateBatch::inserting({{1, 13}});
+  // Deleting the pending patch edge {0, 12} alongside an insertion drives
+  // the fast-mixed (block-merge triage) commit path.
+  UpdateBatch mixed = UpdateBatch::inserting({{2, 14}});
+  mixed.deletions.push_back({0, 12});
+  // Deleting a cycle edge fails the 2-connectivity certificate: rebuild.
   const UpdateBatch selective = UpdateBatch::deleting({{3, 4}});
   const UpdateBatch compacting =
       UpdateBatch::inserting({{2, 14}, {5, 17}, {6, 18}, {7, 19}});
 
   const State before = capture(dbc);
   EXPECT_THROW(dbc.apply(fast), std::bad_alloc);
+  expect_state_eq(capture(dbc), before);
+  EXPECT_THROW(dbc.apply(mixed), std::bad_alloc);
   expect_state_eq(capture(dbc), before);
   EXPECT_THROW(dbc.apply(selective), std::bad_alloc);
   expect_state_eq(capture(dbc), before);
@@ -478,8 +595,9 @@ TEST(DynamicBiconn, ApplyStrongExceptionGuaranteeAllPaths) {
   EXPECT_THROW(dbc.compact(), std::bad_alloc);
   expect_state_eq(capture(dbc), before);
   ASSERT_EQ(attempted,
-            (std::vector<Path>{Path::kFastInsert, Path::kSelectiveRebuild,
-                               Path::kCompaction, Path::kCompaction}));
+            (std::vector<Path>{Path::kFastInsert, Path::kFastMixed,
+                               Path::kSelectiveRebuild, Path::kCompaction,
+                               Path::kCompaction}));
 
   // The structure is not poisoned: with the hook cleared, the very same
   // batches apply cleanly and agree with ground truth.
@@ -487,13 +605,16 @@ TEST(DynamicBiconn, ApplyStrongExceptionGuaranteeAllPaths) {
   dbc.apply(fast);
   apply_to_model(model, fast);
   expect_matches_truth(dbc, model);
+  dbc.apply(mixed);
+  apply_to_model(model, mixed);
+  expect_matches_truth(dbc, model);
   dbc.apply(selective);
   apply_to_model(model, selective);
   expect_matches_truth(dbc, model);
   dbc.apply(compacting);
   apply_to_model(model, compacting);
   expect_matches_truth(dbc, model);
-  EXPECT_EQ(dbc.epoch(), 4u);
+  EXPECT_EQ(dbc.epoch(), 5u);
 }
 
 TEST(DynamicBiconn, RejectsMalformedBatches) {
@@ -540,6 +661,7 @@ TEST(BiconnBatchQuery, MixedVectorMatchesScalarQueries) {
     queries.push_back({MixedQuery::Kind::kTwoEdgeConnected, i, v});
     queries.push_back({MixedQuery::Kind::kArticulation, i, 0});
     queries.push_back({MixedQuery::Kind::kBridge, i, v});
+    queries.push_back({MixedQuery::Kind::kEdgeBcc, i, v});
   }
   const auto got = engine.answer(queries);
   ASSERT_EQ(got.size(), queries.size());
@@ -562,9 +684,23 @@ TEST(BiconnBatchQuery, MixedVectorMatchesScalarQueries) {
       case MixedQuery::Kind::kBridge:
         want = snap->is_bridge(q.u, q.v);
         break;
+      case MixedQuery::Kind::kEdgeBcc:
+        want = snap->edge_block_id(q.u, q.v) != 0;
+        break;
     }
     EXPECT_EQ(got[i] != 0, want) << i;
   }
+
+  // block_ids answers the kEdgeBcc subset with the scalar ids, in order.
+  const auto ids = engine.block_ids(queries);
+  std::size_t next_id = 0;
+  for (const MixedQuery& q : queries) {
+    if (q.kind != MixedQuery::Kind::kEdgeBcc) continue;
+    ASSERT_LT(next_id, ids.size());
+    EXPECT_EQ(ids[next_id], snap->edge_block_id(q.u, q.v));
+    ++next_id;
+  }
+  EXPECT_EQ(next_id, ids.size());
 
   // Pinned engines survive ring eviction, like the connectivity engine.
   for (int i = 0; i < 8; ++i) {

@@ -173,29 +173,49 @@ TEST(ParallelRebuildDeterminism, BiconnFacadeAgreesAcrossThreadCounts) {
   const std::size_t n = base.num_vertices();
   const auto batches = make_batches(n, 6, 64);
 
+  // Two facades per thread count: one with the block-merge algebra
+  // disabled (merge_search_limit = 0) so the LIFO churn still exercises
+  // the parallel selective rebuild, and one with it enabled so the
+  // O(B)-write absorb path is held to the same determinism bar. All six
+  // must agree on the full query surface after every epoch.
   const std::vector<std::size_t> thread_options = {1, 2,
                                                    parallel::num_threads()};
   std::vector<std::unique_ptr<dynamic::DynamicBiconnectivity>> facades;
-  for (const std::size_t t : thread_options) {
-    dynamic::DynamicBiconnOptions opt;
-    opt.oracle.k = 4;
-    opt.rebuild_threads = t;
-    facades.push_back(std::make_unique<dynamic::DynamicBiconnectivity>(
-        graph::Graph(base), opt));
+  std::vector<std::size_t> facade_threads;
+  for (const bool merging : {false, true}) {
+    for (const std::size_t t : thread_options) {
+      dynamic::DynamicBiconnOptions opt;
+      opt.oracle.k = 4;
+      opt.rebuild_threads = t;
+      if (!merging) opt.merge_search_limit = 0;
+      facades.push_back(std::make_unique<dynamic::DynamicBiconnectivity>(
+          graph::Graph(base), opt));
+      facade_threads.push_back(t);
+    }
   }
+  const std::size_t trio = thread_options.size();
 
   std::size_t selective_seen = 0;
   for (const auto& batch : batches) {
+    std::vector<dynamic::BiconnUpdateReport::Path> paths;
     for (std::size_t f = 0; f < facades.size(); ++f) {
       const auto report = facades[f]->apply(batch);
+      paths.push_back(report.path);
       if (report.path ==
           dynamic::BiconnUpdateReport::Path::kSelectiveRebuild) {
         ++selective_seen;
-        EXPECT_EQ(report.rebuild_threads, thread_options[f]);
+        EXPECT_EQ(report.rebuild_threads, facade_threads[f]);
       }
     }
-    // Full query surface agrees pairwise after every epoch.
+    // The chosen update path is thread-count independent within each trio.
+    for (std::size_t f = 0; f < facades.size(); ++f) {
+      ASSERT_EQ(paths[f], paths[f / trio * trio]) << "facade " << f;
+    }
+    // Full query surface agrees pairwise after every epoch — including
+    // across the merging/non-merging divide, where the representations
+    // differ but the answers must not.
     const auto s0 = facades[0]->snapshot();
+    const auto sm = facades[trio]->snapshot();
     for (std::size_t f = 1; f < facades.size(); ++f) {
       const auto sf = facades[f]->snapshot();
       for (vertex_id v = 0; v < n; ++v) {
@@ -214,12 +234,18 @@ TEST(ParallelRebuildDeterminism, BiconnFacadeAgreesAcrossThreadCounts) {
         ASSERT_EQ(s0->two_edge_connected(u, v),
                   sf->two_edge_connected(u, v))
             << u << "," << v;
+        // Within the merging trio, block ids (patch-union winners
+        // included) are bit-identical across thread counts.
+        if (f > trio) {
+          ASSERT_EQ(sm->edge_block_id(u, v), sf->edge_block_id(u, v))
+              << u << "," << v;
+        }
       }
     }
   }
-  // Every batch has deletions from the second on, so the sequence must have
-  // exercised the selective path on every facade.
-  EXPECT_GE(selective_seen, facades.size());
+  // Every batch has deletions from the second on, so the non-merging trio
+  // must have exercised the selective path on every facade.
+  EXPECT_GE(selective_seen, trio);
 }
 
 TEST(ParallelRebuildDeterminism, ConnFacadeAgreesAcrossThreadCounts) {

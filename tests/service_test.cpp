@@ -98,6 +98,11 @@ struct Truth {
         }
         return false;
       }
+      case MixedQuery::Kind::kEdgeBcc:
+        // Every present non-self-loop edge belongs to exactly one block.
+        return q.u != q.v &&
+               !pair_edges[std::size_t(q.u) * lg.num_vertices() + q.v]
+                    .empty();
     }
     return false;
   }
@@ -109,7 +114,7 @@ std::vector<MixedQuery> random_mixed(std::size_t n, std::size_t count,
   std::uint64_t rs = seed;
   for (std::size_t i = 0; i < count; ++i) {
     rs = parallel::mix64(rs + 1);
-    const auto kind = MixedQuery::Kind(rs % 5);
+    const auto kind = MixedQuery::Kind(rs % 6);
     rs = parallel::mix64(rs);
     const auto u = vertex_id(rs % n);
     rs = parallel::mix64(rs);
@@ -140,6 +145,7 @@ TEST(ServiceProtocol, RoundTripsEveryMessageType) {
   query_response.status = service::Status::kOk;
   query_response.epoch = 123;
   query_response.answers = {1, 0, 1, 1};
+  query_response.block_ids = {0x4000000000000007ull, 0};
 
   service::ApplyRequest apply_request;
   apply_request.batch.insertions = {{1, 2}, {3, 4}};
@@ -154,6 +160,11 @@ TEST(ServiceProtocol, RoundTripsEveryMessageType) {
   apply_result.report.micros = 777;
   apply_result.dirty_components = 3;
   apply_result.relabeled_centers = 9;
+  apply_result.merged_blocks = 5;
+  apply_result.absorbed_deletions = 2;
+  apply_result.rebuild_reason =
+      std::uint8_t(dynamic::RebuildReason::kTriageFailed);
+  apply_result.absorb_rate_ppm = 912345;
 
   service::wire::WireError error;
   error.status = service::Status::kBadRequest;
@@ -186,6 +197,22 @@ TEST(ServiceProtocol, RoundTripsEveryMessageType) {
   EXPECT_EQ(res.report.micros, 777u);
   EXPECT_EQ(res.dirty_components, 3u);
   EXPECT_EQ(res.relabeled_centers, 9u);
+  EXPECT_EQ(res.merged_blocks, 5u);
+  EXPECT_EQ(res.absorbed_deletions, 2u);
+  EXPECT_EQ(res.rebuild_reason,
+            std::uint8_t(dynamic::RebuildReason::kTriageFailed));
+  EXPECT_EQ(res.absorb_rate_ppm, 912345u);
+
+  const auto back3 = service::wire::decode(service::wire::encode(
+      service::wire::Message(query_response)));
+  EXPECT_EQ(std::get<service::QueryResponse>(back3).block_ids,
+            query_response.block_ids);
+
+  // An out-of-range rebuild reason is a protocol error, not a silent enum.
+  apply_result.rebuild_reason = 200;
+  EXPECT_THROW((void)service::wire::decode(service::wire::encode(
+                   service::wire::Message(apply_result))),
+               service::wire::ProtocolError);
 }
 
 TEST(ServiceProtocol, RejectsEveryTruncation) {
@@ -287,10 +314,14 @@ TEST(FacadeService, ConnectivityAnswersAndStatuses) {
         << "query " << i;
   }
 
-  // kUnsupported: the connectivity facade cannot answer biconnectivity.
+  // kUnsupported: the connectivity facade cannot answer biconnectivity —
+  // nor edge block ids.
   service::QueryRequest biconn_req;
   biconn_req.queries = {{MixedQuery::Kind::kBiconnected, 0, 1}};
   EXPECT_EQ(svc.query(biconn_req).status, service::Status::kUnsupported);
+  service::QueryRequest bcc_req;
+  bcc_req.queries = {{MixedQuery::Kind::kEdgeBcc, 0, 1}};
+  EXPECT_EQ(svc.query(bcc_req).status, service::Status::kUnsupported);
 
   // kBadRequest: endpoint out of [0, n) — except kArticulation's unused v.
   service::QueryRequest oob;
@@ -384,6 +415,18 @@ TEST(ServiceLoopback, EndToEndCrossChecked) {
       ASSERT_EQ(resp.answers[i] != 0, truth.answer(req.queries[i]))
           << "epoch " << resp.epoch << " query " << i;
     }
+    // Block ids ride the response, one per kEdgeBcc query in order:
+    // nonzero exactly for present non-self-loop edges.
+    std::size_t bix = 0;
+    for (std::size_t i = 0; i < req.queries.size(); ++i) {
+      const MixedQuery& q = req.queries[i];
+      if (q.kind != MixedQuery::Kind::kEdgeBcc) continue;
+      ASSERT_LT(bix, resp.block_ids.size());
+      ASSERT_EQ(resp.block_ids[bix] != 0, truth.answer(q))
+          << "epoch " << resp.epoch << " block id for query " << i;
+      ++bix;
+    }
+    ASSERT_EQ(bix, resp.block_ids.size());
   }
 
   // A bad apply comes back as ServiceError — and the session survives it.

@@ -28,6 +28,7 @@
 #include "decomp/implicit_decomp.hpp"
 #include "dynamic/batch_query.hpp"
 #include "dynamic/biconn_snapshot.hpp"
+#include "dynamic/block_merge.hpp"
 #include "dynamic/dirty_tracker.hpp"
 #include "dynamic/durability.hpp"
 #include "dynamic/dynamic_biconnectivity.hpp"

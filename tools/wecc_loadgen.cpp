@@ -56,6 +56,11 @@ struct CliOptions {
   /// Cross-check every Nth writer round (0 disables verification).
   std::size_t verify_every = 8;
   std::size_t verify_queries = 128;
+  /// Writer mix: "mixed" = fresh inserts + random deletions of present
+  /// edges (forces rebuilds); "dense" = fresh inserts + LIFO deletions of
+  /// the writer's own recent insertions — the high-churn shape the
+  /// block-merge patch algebra is built to absorb without rebuilding.
+  std::string churn = "mixed";
   std::string json_out;
   std::uint64_t seed = 42;
 };
@@ -68,7 +73,8 @@ struct CliOptions {
       "          [--gseed S] [--readers N] [--duration-s D]\n"
       "          [--batch-size B] [--queries-per-request Q]\n"
       "          [--open-qps RATE] [--verify-every K]\n"
-      "          [--verify-queries M] [--json PATH] [--seed S]\n",
+      "          [--verify-queries M] [--churn mixed|dense]\n"
+      "          [--json PATH] [--seed S]\n",
       argv0);
   std::exit(2);
 }
@@ -112,6 +118,9 @@ CliOptions parse_args(int argc, char** argv) try {
       opt.verify_every = std::stoul(value());
     } else if (arg == "--verify-queries") {
       opt.verify_queries = std::stoul(value());
+    } else if (arg == "--churn") {
+      opt.churn = value();
+      if (opt.churn != "mixed" && opt.churn != "dense") usage(argv[0]);
     } else if (arg == "--json") {
       opt.json_out = value();
     } else if (arg == "--seed") {
@@ -230,6 +239,14 @@ struct Truth {
         const auto it = edge_id.find(key);
         return it != edge_id.end() && bc.is_bridge[it->second] != 0;
       }
+      case Kind::kEdgeBcc: {
+        // Every present non-self-loop edge belongs to exactly one block,
+        // so the boolean truth is just edge presence in the mirror.
+        if (u == v) return false;
+        const auto key = (std::uint64_t(std::min(u, v)) << 32) |
+                         std::max(u, v);
+        return edge_id.count(key) != 0;
+      }
     }
     return false;
   }
@@ -279,7 +296,7 @@ dynamic::MixedQuery random_query(std::uint64_t& rs, std::size_t n,
                                  bool biconn) {
   rs = parallel::mix64(rs + 1);
   const auto kind =
-      biconn ? dynamic::MixedQuery::Kind(rs % 5)
+      biconn ? dynamic::MixedQuery::Kind(rs % 6)
              : dynamic::MixedQuery::Kind::kConnected;
   rs = parallel::mix64(rs);
   const auto u = vertex_id(rs % n);
@@ -347,8 +364,16 @@ void verify_round(service::Client& client, const Mirror& mirror,
   request.pin_epoch = mirror.epoch();
   request.queries.reserve(cli.verify_queries);
   for (std::size_t i = 0; i < cli.verify_queries; ++i) {
-    request.queries.push_back(
-        random_query(rs, mirror.num_vertices(), biconn));
+    dynamic::MixedQuery q = random_query(rs, mirror.num_vertices(), biconn);
+    // Random endpoint pairs are almost never edges, so bias every fourth
+    // biconn probe to a present edge: kEdgeBcc must answer true (and hand
+    // back a block id) for edges the server only ever saw via the patch.
+    if (biconn && i % 4 == 0 && !mirror.edges().empty()) {
+      rs = parallel::mix64(rs + 7);
+      const graph::Edge e = mirror.edges()[rs % mirror.edges().size()];
+      q = {dynamic::MixedQuery::Kind::kEdgeBcc, e.u, e.v};
+    }
+    request.queries.push_back(q);
   }
   const service::QueryResponse response = client.query(request);
   if (response.status == service::Status::kEpochGone) {
@@ -360,9 +385,26 @@ void verify_round(service::Client& client, const Mirror& mirror,
     throw std::runtime_error("verification query failed");
   }
   ++result.verify_rounds;
+  std::size_t block_id_idx = 0;
   for (std::size_t i = 0; i < request.queries.size(); ++i) {
     ++result.verified_answers;
     const bool want = truth.answer(request.queries[i]);
+    if (request.queries[i].kind == dynamic::MixedQuery::Kind::kEdgeBcc) {
+      // block_ids carries one id per kEdgeBcc query in order; a nonzero
+      // id and a true boolean must come together.
+      const bool id_nonzero = block_id_idx < response.block_ids.size() &&
+                              response.block_ids[block_id_idx] != 0;
+      ++block_id_idx;
+      if (id_nonzero != want) {
+        ++result.mismatches;
+        std::fprintf(stderr,
+                     "MISMATCH epoch %llu edge-bcc id (%u, %u): id %u "
+                     "truth %u\n",
+                     static_cast<unsigned long long>(mirror.epoch()),
+                     request.queries[i].u, request.queries[i].v,
+                     unsigned(id_nonzero), unsigned(want));
+      }
+    }
     if ((response.answers[i] != 0) != want) {
       ++result.mismatches;
       const auto& q = request.queries[i];
@@ -385,14 +427,20 @@ void writer_loop(const CliOptions& cli, std::uint16_t port, Mirror& mirror,
     OpClassStats local;
     RunResult verify_local;
     const std::size_t n = mirror.num_vertices();
+    const bool dense = cli.churn == "dense";
+    // LIFO of this writer's own insertions (dense mode deletes from it);
+    // every popped edge is still present — only this thread mutates the
+    // edge set, and pops never repeat.
+    std::vector<graph::Edge> inserted_stack;
     std::uint64_t round = 0;
     while (Clock::now() < deadline && !failed.load()) {
       ++round;
       dynamic::UpdateBatch batch;
-      // Half fresh insertions (never duplicating a present edge), half
-      // deletions of present edges — also exercising the selective
-      // rebuild path, not just the insert fast path.
-      for (std::size_t i = 0; i < cli.batch_size / 2; ++i) {
+      // Fresh insertions (never duplicating a present edge): half the
+      // batch in mixed mode, three quarters in dense mode.
+      const std::size_t ins_target =
+          dense ? cli.batch_size - cli.batch_size / 4 : cli.batch_size / 2;
+      for (std::size_t i = 0; i < ins_target; ++i) {
         for (int attempt = 0; attempt < 16; ++attempt) {
           rs = parallel::mix64(rs + 3);
           const auto u = vertex_id(rs % n);
@@ -412,7 +460,16 @@ void writer_loop(const CliOptions& cli, std::uint16_t port, Mirror& mirror,
           break;
         }
       }
-      if (round % 2 == 0 && !mirror.edges().empty()) {
+      if (dense) {
+        // Dense churn: retract the most recent of our own insertions —
+        // the LIFO shape deletion triage absorbs without rebuilding.
+        const std::size_t dels =
+            std::min(cli.batch_size / 4, inserted_stack.size());
+        for (std::size_t i = 0; i < dels; ++i) {
+          batch.deletions.push_back(inserted_stack.back());
+          inserted_stack.pop_back();
+        }
+      } else if (round % 2 == 0 && !mirror.edges().empty()) {
         for (std::size_t i = 0; i < cli.batch_size / 2; ++i) {
           rs = parallel::mix64(rs + 5);
           const graph::Edge e = mirror.edges()[rs % mirror.edges().size()];
@@ -427,6 +484,10 @@ void writer_loop(const CliOptions& cli, std::uint16_t port, Mirror& mirror,
         }
       }
       if (batch.empty()) continue;
+      if (dense) {
+        inserted_stack.insert(inserted_stack.end(), batch.insertions.begin(),
+                              batch.insertions.end());
+      }
 
       service::ApplyRequest request;
       request.batch = std::move(batch);

@@ -145,6 +145,14 @@ int serve(wecc::graph::Graph g, FacadeOptions fopt, const CliOptions& cli) {
       static_cast<unsigned long long>(stats.queries),
       static_cast<unsigned long long>(stats.applies),
       static_cast<unsigned long long>(stats.protocol_errors));
+  std::printf("wecc_server: absorb_rate %.4f; rebuilds by reason:",
+              double(stats.absorb_rate_ppm) / 1e6);
+  for (std::size_t i = 0; i < stats.rebuild_reasons.size(); ++i) {
+    std::printf(" %s=%llu",
+                dynamic::rebuild_reason_name(dynamic::RebuildReason(i)),
+                static_cast<unsigned long long>(stats.rebuild_reasons[i]));
+  }
+  std::printf("\n");
   return 0;
 }
 
